@@ -1,0 +1,251 @@
+// Benchmarks reproducing every table and figure of the paper's
+// evaluation (Sec. 5). Each benchmark runs the corresponding experiment
+// at a CI-friendly scale and reports the headline metrics via
+// b.ReportMetric; cmd/transedge-bench prints the full row-by-row tables
+// (and -scale paper restores the published parameters).
+//
+// Absolute numbers differ from the paper (simulated network, scaled
+// latencies); the reported shape metrics — who wins, by what factor,
+// and how trends move across the sweeps — are the reproduction targets
+// recorded in EXPERIMENTS.md.
+package bench_test
+
+import (
+	"testing"
+	"time"
+
+	"transedge/internal/harness"
+)
+
+// benchScale trims the Quick scale further so the whole suite finishes in
+// a couple of minutes under `go test -bench=.`.
+var benchScale = harness.Scale{
+	Keys:        2000,
+	Duration:    250 * time.Millisecond,
+	LatencyUnit: 50 * time.Microsecond,
+	ROWorkers:   4,
+	RWWorkers:   4,
+	BatchSizes:  []int{900, 2500},
+	ScanSizes:   []int{250, 1000, 2000},
+	LatenciesMS: []int{0, 20, 70, 150},
+}
+
+// pick returns the first point matching series and x ("" matches any).
+func pick(points []harness.Point, series, x string) *harness.Point {
+	for i := range points {
+		if points[i].Series == series && (x == "" || points[i].X == x) {
+			return &points[i]
+		}
+	}
+	return nil
+}
+
+// BenchmarkFig4ReadOnlyLatencyVs2PCBFT — the headline result: snapshot
+// read-only latency vs the coordination-based baseline, 1–5 clusters.
+// The paper reports 9–24x; the speedup at 2 and 5 clusters is reported
+// as speedup2x_x and speedup5c_x.
+func BenchmarkFig4ReadOnlyLatencyVs2PCBFT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := harness.Fig4(benchScale)
+		te2 := pick(pts, "TransEdge", "clusters=2")
+		bl2 := pick(pts, "2PC/BFT", "clusters=2")
+		te5 := pick(pts, "TransEdge", "clusters=5")
+		bl5 := pick(pts, "2PC/BFT", "clusters=5")
+		if te2 == nil || bl2 == nil || te5 == nil || bl5 == nil {
+			b.Fatal("missing series")
+		}
+		b.ReportMetric(te5.LatencyMS, "te_ms_5c")
+		b.ReportMetric(bl5.LatencyMS, "2pcbft_ms_5c")
+		b.ReportMetric(bl2.LatencyMS/te2.LatencyMS, "speedup2c_x")
+		b.ReportMetric(bl5.LatencyMS/te5.LatencyMS, "speedup5c_x")
+	}
+}
+
+// BenchmarkFig5ReadOnlyRounds — round-1 latency plus the effective cost
+// of repair rounds, against Augustus.
+func BenchmarkFig5ReadOnlyRounds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := harness.Fig5(benchScale)
+		te := pick(pts, "TransEdge", "clusters=5")
+		aug := pick(pts, "Augustus", "clusters=5")
+		if te == nil || aug == nil {
+			b.Fatal("missing series")
+		}
+		b.ReportMetric(te.Round1MS, "round1_ms_5c")
+		b.ReportMetric(te.Round2EffMS, "round2eff_ms_5c")
+		b.ReportMetric(te.Round2Pct, "round2_pct_5c")
+		b.ReportMetric(aug.LatencyMS, "augustus_ms_5c")
+	}
+}
+
+// BenchmarkFig6ReadOnlyThroughput — closed-loop read-only throughput vs
+// Augustus across accessed-cluster counts.
+func BenchmarkFig6ReadOnlyThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := harness.Fig6(benchScale)
+		te := pick(pts, "TransEdge", "clusters=5")
+		aug := pick(pts, "Augustus", "clusters=5")
+		if te == nil || aug == nil {
+			b.Fatal("missing series")
+		}
+		b.ReportMetric(te.ThroughputTPS, "te_tps_5c")
+		b.ReportMetric(aug.ThroughputTPS, "augustus_tps_5c")
+		b.ReportMetric(te.ThroughputTPS/aug.ThroughputTPS, "ratio_x")
+	}
+}
+
+// BenchmarkFig7LongRunningReadOnly — scan latency growth with scan size,
+// vs Augustus whose shared locks also stall writers.
+func BenchmarkFig7LongRunningReadOnly(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := harness.Fig7(benchScale)
+		teS := pick(pts, "TransEdge", "readops=250")
+		teL := pick(pts, "TransEdge", "readops=2000")
+		augL := pick(pts, "Augustus", "readops=2000")
+		if teS == nil || teL == nil || augL == nil {
+			b.Fatal("missing series")
+		}
+		b.ReportMetric(teS.LatencyMS, "te_ms_250")
+		b.ReportMetric(teL.LatencyMS, "te_ms_2000")
+		b.ReportMetric(augL.LatencyMS, "augustus_ms_2000")
+	}
+}
+
+// BenchmarkFig8ReadOnlyLatencySweep — read-only throughput as
+// inter-cluster latency rises (0–150 paper-ms).
+func BenchmarkFig8ReadOnlyLatencySweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := harness.Fig8(benchScale)
+		at0 := pick(pts, "TransEdge", "latency=0ms")
+		at150 := pick(pts, "TransEdge", "latency=150ms")
+		if at0 == nil || at150 == nil {
+			b.Fatal("missing series")
+		}
+		b.ReportMetric(at0.ThroughputTPS, "tps_0ms")
+		b.ReportMetric(at150.ThroughputTPS, "tps_150ms")
+	}
+}
+
+// BenchmarkFig9LocalThroughput — write-only vs local read-write
+// throughput across batch sizes, on TransEdge and 2PC/BFT.
+func BenchmarkFig9LocalThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := harness.Fig9(benchScale)
+		wo := pick(pts, "Write-only-RW TransEdge", "batch=2500")
+		lrw := pick(pts, "Local-RW TransEdge", "batch=2500")
+		bl := pick(pts, "Local-RW 2PC/BFT", "batch=2500")
+		if wo == nil || lrw == nil || bl == nil {
+			b.Fatal("missing series")
+		}
+		b.ReportMetric(wo.ThroughputTPS, "writeonly_tps")
+		b.ReportMetric(lrw.ThroughputTPS, "localrw_tps")
+		b.ReportMetric(bl.ThroughputTPS, "2pcbft_tps")
+	}
+}
+
+// BenchmarkFig10DistributedLatencySkew — distributed read-write latency
+// across the R/W skew.
+func BenchmarkFig10DistributedLatencySkew(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := harness.Fig10and11(benchScale)
+		readHeavy := pick(pts, "batch=2500", "R=5,W=1")
+		writeHeavy := pick(pts, "batch=2500", "R=1,W=5")
+		if readHeavy == nil || writeHeavy == nil {
+			b.Fatal("missing series")
+		}
+		b.ReportMetric(readHeavy.LatencyMS, "lat_ms_R5W1")
+		b.ReportMetric(writeHeavy.LatencyMS, "lat_ms_R1W5")
+	}
+}
+
+// BenchmarkFig11DistributedThroughputSkew — the same sweep's throughput.
+func BenchmarkFig11DistributedThroughputSkew(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := harness.Fig10and11(benchScale)
+		readHeavy := pick(pts, "batch=2500", "R=5,W=1")
+		writeHeavy := pick(pts, "batch=2500", "R=1,W=5")
+		if readHeavy == nil || writeHeavy == nil {
+			b.Fatal("missing series")
+		}
+		b.ReportMetric(readHeavy.ThroughputTPS, "tps_R5W1")
+		b.ReportMetric(writeHeavy.ThroughputTPS, "tps_R1W5")
+	}
+}
+
+// BenchmarkFig12DistributedLatencySweep — distributed read-write
+// throughput under injected wide-area latency.
+func BenchmarkFig12DistributedLatencySweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := harness.Fig12(benchScale)
+		at0 := pick(pts, "batch=2500", "latency=0ms")
+		at150 := pick(pts, "batch=2500", "latency=150ms")
+		if at0 == nil || at150 == nil {
+			b.Fatal("missing series")
+		}
+		b.ReportMetric(at0.ThroughputTPS, "tps_0ms")
+		b.ReportMetric(at150.ThroughputTPS, "tps_150ms")
+		b.ReportMetric(at0.ThroughputTPS/at150.ThroughputTPS, "drop_x")
+	}
+}
+
+// BenchmarkFig13AbortRate — read-write abort percentage under latency.
+func BenchmarkFig13AbortRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := harness.Fig13(benchScale)
+		at0 := pick(pts, "latency=0ms", "")
+		at70 := pick(pts, "latency=70ms", "")
+		if at0 == nil || at70 == nil {
+			b.Fatal("missing series")
+		}
+		b.ReportMetric(at0.AbortPct, "abort_pct_0ms")
+		b.ReportMetric(at70.AbortPct, "abort_pct_70ms")
+	}
+}
+
+// BenchmarkFig14MixedWorkload — throughput across the local/distributed
+// transaction mix.
+func BenchmarkFig14MixedWorkload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := harness.Fig14(benchScale)
+		allLocal := pick(pts, "batch=2500", "LRWT=100%")
+		allDist := pick(pts, "batch=2500", "LRWT=0%")
+		if allLocal == nil || allDist == nil {
+			b.Fatal("missing series")
+		}
+		b.ReportMetric(allLocal.ThroughputTPS, "tps_local100")
+		b.ReportMetric(allDist.ThroughputTPS, "tps_dist100")
+		b.ReportMetric(allLocal.ThroughputTPS/allDist.ThroughputTPS, "ratio_x")
+	}
+}
+
+// BenchmarkFig15FaultToleranceSweep — cost of f=1 vs f=3 clusters.
+func BenchmarkFig15FaultToleranceSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := harness.Fig15(benchScale)
+		f1 := pick(pts, "f=1", "batch=900")
+		f3 := pick(pts, "f=3", "batch=900")
+		if f1 == nil || f3 == nil {
+			b.Fatal("missing series")
+		}
+		b.ReportMetric(f1.LatencyMS, "lat_ms_f1")
+		b.ReportMetric(f3.LatencyMS, "lat_ms_f3")
+		b.ReportMetric(f1.ThroughputTPS, "tps_f1")
+		b.ReportMetric(f3.ThroughputTPS, "tps_f3")
+	}
+}
+
+// BenchmarkTable1ReadOnlyInterference — read-write aborts caused by
+// read-only transactions: ~0 for TransEdge, growing with cluster count
+// for Augustus.
+func BenchmarkTable1ReadOnlyInterference(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := harness.Table1(benchScale)
+		te := pick(pts, "TransEdge", "clusters=5")
+		aug := pick(pts, "Augustus", "clusters=5")
+		if te == nil || aug == nil {
+			b.Fatal("missing series")
+		}
+		b.ReportMetric(te.AbortPct, "te_ro_abort_pct")
+		b.ReportMetric(aug.AbortPct, "augustus_ro_abort_pct")
+	}
+}

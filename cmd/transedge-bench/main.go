@@ -1,0 +1,96 @@
+// transedge-bench reproduces the paper's evaluation (Sec. 5): every
+// figure and table has an experiment ID, and the tool prints the same
+// rows/series the paper reports.
+//
+//	go run ./cmd/transedge-bench -experiment fig4
+//	go run ./cmd/transedge-bench -experiment all
+//	go run ./cmd/transedge-bench -experiment fig12 -scale paper
+//
+// The default "quick" scale shrinks the workload and scales injected
+// wide-area latencies (1 paper-ms -> 50µs) so the full suite runs in
+// minutes; "paper" restores the published parameters (1M keys, real
+// latencies) and takes on the order of an hour.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"transedge/internal/harness"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment ID (fig4..fig15, table1) or 'all'")
+		scaleName  = flag.String("scale", "quick", "quick | paper")
+		duration   = flag.Duration("duration", 0, "override measurement window per point")
+		keys       = flag.Int("keys", 0, "override keyspace size")
+		list       = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		ids := make([]string, 0, len(harness.Experiments))
+		for id := range harness.Experiments {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		fmt.Println(strings.Join(ids, "\n"))
+		return
+	}
+
+	scale := harness.Quick
+	if *scaleName == "paper" {
+		scale = harness.PaperScale
+	}
+	if *duration > 0 {
+		scale.Duration = *duration
+	}
+	if *keys > 0 {
+		scale.Keys = *keys
+	}
+
+	ids := []string{*experiment}
+	if *experiment == "all" {
+		ids = harness.Order
+	}
+	for _, id := range ids {
+		run, ok := harness.Experiments[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s (%s scale) ==\n", id, *scaleName)
+		start := time.Now()
+		points := run(scale)
+		printTable(points)
+		fmt.Printf("-- %s done in %v --\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func printTable(points []harness.Point) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "series\tx\tlatency(ms)\tp99(ms)\ttps\tabort%\tround1(ms)\tround2eff(ms)\tround2%")
+	for _, p := range points {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
+			p.Series, p.X,
+			num(p.LatencyMS), num(p.P99MS), num(p.ThroughputTPS),
+			num(p.AbortPct), num(p.Round1MS), num(p.Round2EffMS), num(p.Round2Pct))
+	}
+	w.Flush()
+}
+
+func num(v float64) string {
+	if v == 0 {
+		return "-"
+	}
+	if v >= 100 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}

@@ -1,0 +1,150 @@
+// transedge-demo walks through the protocol mechanics of the paper's
+// Figures 1–3 on a live two-partition deployment: it shows prepare and
+// commit batches, the CD vectors and LCE numbers they carry, and then
+// stages the Fig. 1 race (a reader catching one partition ahead of the
+// other) to show the dependency check detecting it and the second round
+// repairing it.
+//
+//	go run ./cmd/transedge-demo
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"transedge/internal/client"
+	"transedge/internal/core"
+	"transedge/internal/transport"
+)
+
+func main() {
+	data := map[string][]byte{}
+	for i := 0; i < 100; i++ {
+		data[fmt.Sprintf("key-%03d", i)] = []byte("v0")
+	}
+	sys := core.NewSystem(core.SystemConfig{
+		Clusters: 2, F: 1, Seed: 5,
+		BatchInterval: time.Millisecond,
+		InitialData:   data,
+	})
+	sys.Start()
+	defer sys.Stop()
+	fmt.Println("deployment:", sys)
+	fmt.Println()
+
+	c := client.New(client.Config{
+		ID: 1, Net: sys.Net, Ring: sys.Ring, Part: sys.Part,
+		Clusters: 2, Timeout: 10 * time.Second,
+	})
+
+	// Find one key per partition.
+	var kx, ky string
+	for i := 0; i < 100 && (kx == "" || ky == ""); i++ {
+		k := fmt.Sprintf("key-%03d", i)
+		if sys.Part.Of(k) == 0 && kx == "" {
+			kx = k
+		}
+		if sys.Part.Of(k) == 1 && ky == "" {
+			ky = k
+		}
+	}
+	fmt.Printf("x = %s (partition X), y = %s (partition Y)\n\n", kx, ky)
+
+	show := func(label string) {
+		snap, err := c.ReadOnly([]string{kx, ky})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\n", label)
+		for cl := int32(0); cl < 2; cl++ {
+			h := snap.Headers[cl]
+			fmt.Printf("  partition %c: batch b%d  CD=%v  LCE=%d  root=%x...\n",
+				'X'+cl, h.ID, h.CD, h.LCE, h.MerkleRoot[:4])
+		}
+		fmt.Printf("  snapshot: x=%s y=%s (rounds=%d)\n\n",
+			snap.Values[kx], snap.Values[ky], snap.Rounds)
+	}
+
+	show("initial state (genesis batches, no dependencies: CD entries are -1)")
+
+	fmt.Println("committing distributed transaction t1 {x=x1, y=y1} (2PC over BFT, Fig. 3)...")
+	txn := c.Begin()
+	if _, err := txn.Read(kx); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := txn.Read(ky); err != nil {
+		log.Fatal(err)
+	}
+	txn.Write(kx, []byte("x1"))
+	txn.Write(ky, []byte("y1"))
+	if err := txn.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // let both partitions commit the group
+	show("after t1: each commit batch records a CD entry pointing at the\n" +
+		"other partition's PREPARE batch; LCE advanced to the local prepare batch")
+
+	// Stage the Fig. 1 race: slow down the inter-leader links so the
+	// coordinator commits while the participant's decision is in flight,
+	// then read immediately.
+	fmt.Println("staging the Fig. 1 race: delaying inter-leader links by 60ms and")
+	fmt.Println("committing t2 {x=x2, y=y2}...")
+	leader0 := core.NodeID{Cluster: 0, Replica: 0}
+	leader1 := core.NodeID{Cluster: 1, Replica: 0}
+	var mu sync.Mutex
+	slow := true
+	sys.Net.SetLatency(func(from, to transport.NodeID) time.Duration {
+		mu.Lock()
+		defer mu.Unlock()
+		if slow && (from == leader0 || from == leader1) &&
+			from.Cluster != to.Cluster && to.Cluster != transport.ClientCluster {
+			return 60 * time.Millisecond
+		}
+		return 0
+	})
+	txn2 := c.Begin()
+	if _, err := txn2.Read(kx); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := txn2.Read(ky); err != nil {
+		log.Fatal(err)
+	}
+	txn2.Write(kx, []byte("x2"))
+	txn2.Write(ky, []byte("y2"))
+	if err := txn2.Commit(); err != nil {
+		log.Fatal(err)
+	}
+
+	// One partition has committed t2; the other's commit decision is
+	// still crossing the slow link. Read right now.
+	sawRepair := false
+	for i := 0; i < 10 && !sawRepair; i++ {
+		snap, err := c.ReadOnly([]string{kx, ky})
+		if err != nil {
+			log.Fatal(err)
+		}
+		x, y := string(snap.Values[kx]), string(snap.Values[ky])
+		if (x == "x2") != (y == "y2") {
+			log.Fatalf("INCONSISTENT snapshot x=%s y=%s — the protocol failed", x, y)
+		}
+		if snap.Rounds > 1 {
+			sawRepair = true
+			fmt.Printf("read-only txn detected an unsatisfied dependency (CD > LCE)\n")
+			fmt.Printf("and repaired it in round %d: x=%s y=%s — consistent.\n\n", snap.Rounds, x, y)
+		}
+	}
+	mu.Lock()
+	slow = false
+	mu.Unlock()
+	if !sawRepair {
+		fmt.Println("(race window missed this run — both partitions were already in sync;")
+		fmt.Println(" every snapshot was nevertheless consistent)")
+	}
+
+	time.Sleep(80 * time.Millisecond)
+	show("steady state after t2")
+	fmt.Println("demo complete: every answer above was verified against Merkle")
+	fmt.Println("proofs and f+1 batch certificates from untrusted nodes.")
+}

@@ -1,0 +1,281 @@
+package augustus
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"transedge/internal/protocol"
+	"transedge/internal/transport"
+)
+
+// SystemConfig describes an Augustus deployment mirroring the TransEdge
+// topology: one cluster of 3f+1 replicas per partition.
+type SystemConfig struct {
+	Clusters     int
+	F            int
+	IntraLatency time.Duration
+	InterLatency time.Duration
+	LockTTL      time.Duration
+	InitialData  map[string][]byte
+}
+
+// System is a running Augustus deployment.
+type System struct {
+	Cfg  SystemConfig
+	Net  *transport.Network
+	Part protocol.Partitioner
+
+	nodes map[NodeID]*Node
+}
+
+// NewSystem builds all partitions.
+func NewSystem(cfg SystemConfig) *System {
+	if cfg.Clusters <= 0 {
+		cfg.Clusters = 1
+	}
+	if cfg.F <= 0 {
+		cfg.F = 1
+	}
+	n := 3*cfg.F + 1
+	part := protocol.Partitioner{N: int32(cfg.Clusters)}
+	net := transport.NewNetwork()
+	net.SetLatency(transport.ClusterLatency(cfg.IntraLatency, cfg.InterLatency))
+
+	perCluster := make([]map[string][]byte, cfg.Clusters)
+	for c := range perCluster {
+		perCluster[c] = make(map[string][]byte)
+	}
+	for k, v := range cfg.InitialData {
+		perCluster[part.Of(k)][k] = v
+	}
+
+	sys := &System{Cfg: cfg, Net: net, Part: part, nodes: make(map[NodeID]*Node)}
+	for c := 0; c < cfg.Clusters; c++ {
+		for r := 0; r < n; r++ {
+			id := NodeID{Cluster: int32(c), Replica: int32(r)}
+			sys.nodes[id] = NewNode(Config{
+				Cluster: int32(c), Replica: int32(r), N: n, F: cfg.F,
+				Net: net, Part: part, LockTTL: cfg.LockTTL,
+				InitialData: perCluster[c],
+			})
+		}
+	}
+	return sys
+}
+
+// Start launches all replicas.
+func (s *System) Start() {
+	for _, node := range s.nodes {
+		node.Start()
+	}
+}
+
+// Stop terminates all replicas and the network.
+func (s *System) Stop() {
+	for _, node := range s.nodes {
+		node.Stop()
+	}
+	s.Net.Stop()
+}
+
+// RWLockAborts sums writer aborts caused by held read locks across all
+// leaders (Table 1).
+func (s *System) RWLockAborts() int64 {
+	var total int64
+	for id, node := range s.nodes {
+		if id.Replica == 0 {
+			total += node.RWLockAborts()
+		}
+	}
+	return total
+}
+
+// ---- Client ----
+
+// Client drives the Augustus protocols.
+type Client struct {
+	sys     *System
+	self    NodeID
+	txnSeq  atomic.Uint64
+	Timeout time.Duration
+	// Retries bounds lock-conflict retry attempts for read-only
+	// transactions.
+	Retries int
+}
+
+// NewClient creates a client.
+func (s *System) NewClient(id uint32) *Client {
+	return &Client{
+		sys:     s,
+		self:    NodeID{Cluster: transport.ClientCluster, Replica: int32(1000 + id)},
+		Timeout: 10 * time.Second,
+		Retries: 50,
+	}
+}
+
+// Errors.
+var (
+	ErrTimeout  = errors.New("augustus: request timed out")
+	ErrConflict = errors.New("augustus: lock conflict, retries exhausted")
+	ErrQuorum   = errors.New("augustus: replicas disagree beyond quorum")
+	ErrAborted  = errors.New("augustus: transaction aborted by lock conflict")
+)
+
+// ReadOnly executes a read-only transaction the Augustus way: for every
+// accessed partition, lock-and-read at ALL replicas, wait for 2f+1
+// matching votes, then release. Lock conflicts back off and retry.
+func (c *Client) ReadOnly(keys []string) (map[string][]byte, error) {
+	txn := c.txnSeq.Add(1)
+	byCluster := make(map[int32][]string)
+	for _, k := range keys {
+		cl := c.sys.Part.Of(k)
+		byCluster[cl] = append(byCluster[cl], k)
+	}
+	values := make(map[string][]byte, len(keys))
+	n := 3*c.sys.Cfg.F + 1
+	quorum := 2*c.sys.Cfg.F + 1
+
+	for cl, ks := range byCluster {
+		ok := false
+		for attempt := 0; attempt <= c.Retries; attempt++ {
+			votes, err := c.lockReadRound(txn, cl, ks, n)
+			if err != nil {
+				return nil, err
+			}
+			vals, agreed := tallyVotes(votes, ks, quorum)
+			if agreed {
+				for i, k := range ks {
+					values[k] = vals[i]
+				}
+				ok = true
+				break
+			}
+			// Conflict or replica disagreement: release and back off.
+			c.release(txn, cl, ks, n)
+			time.Sleep(time.Duration(attempt+1) * 500 * time.Microsecond)
+		}
+		// Release the shared locks (second round of the protocol).
+		c.release(txn, cl, ks, n)
+		if !ok {
+			return nil, fmt.Errorf("%w: cluster %d", ErrConflict, cl)
+		}
+	}
+	return values, nil
+}
+
+// lockReadRound sends the lock+read to all replicas of one partition and
+// collects their votes.
+func (c *Client) lockReadRound(txn uint64, cluster int32, keys []string, n int) ([]ROVote, error) {
+	replyTo := make(chan ROVote, n)
+	for r := 0; r < n; r++ {
+		c.sys.Net.Send(c.self, NodeID{Cluster: cluster, Replica: int32(r)},
+			&ROLockRead{Txn: txn, Keys: keys, ReplyTo: replyTo})
+	}
+	votes := make([]ROVote, 0, n)
+	deadline := time.After(c.Timeout)
+	for len(votes) < n {
+		select {
+		case v := <-replyTo:
+			votes = append(votes, v)
+		case <-deadline:
+			if len(votes) >= 2*c.sys.Cfg.F+1 {
+				return votes, nil
+			}
+			return nil, fmt.Errorf("%w: cluster %d read quorum", ErrTimeout, cluster)
+		}
+	}
+	return votes, nil
+}
+
+// tallyVotes finds 2f+1 granted votes with identical values.
+func tallyVotes(votes []ROVote, keys []string, quorum int) ([][]byte, bool) {
+	for i := range votes {
+		if !votes[i].Granted {
+			continue
+		}
+		matching := 0
+		for j := range votes {
+			if votes[j].Granted && sameValues(votes[i].Values, votes[j].Values) {
+				matching++
+			}
+		}
+		if matching >= quorum {
+			return votes[i].Values, true
+		}
+	}
+	return nil, false
+}
+
+func sameValues(a, b [][]byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Client) release(txn uint64, cluster int32, keys []string, n int) {
+	for r := 0; r < n; r++ {
+		c.sys.Net.Send(c.self, NodeID{Cluster: cluster, Replica: int32(r)},
+			&RORelease{Txn: txn, Keys: keys})
+	}
+}
+
+// Execute runs a read-write transaction: every accessed partition's
+// leader acquires exclusive locks (aborting on held read locks — the
+// interference Table 1 measures), replicates, and applies. A single
+// negative shard vote aborts the whole transaction.
+func (c *Client) Execute(reads []string, writes []protocol.WriteOp) error {
+	txn := c.txnSeq.Add(1)
+	type shard struct {
+		cluster int32
+		reads   []string
+		writes  []protocol.WriteOp
+	}
+	shards := make(map[int32]*shard)
+	at := func(cl int32) *shard {
+		s, ok := shards[cl]
+		if !ok {
+			s = &shard{cluster: cl}
+			shards[cl] = s
+		}
+		return s
+	}
+	for _, k := range reads {
+		s := at(c.sys.Part.Of(k))
+		s.reads = append(s.reads, k)
+	}
+	for _, w := range writes {
+		s := at(c.sys.Part.Of(w.Key))
+		s.writes = append(s.writes, w)
+	}
+
+	replyTo := make(chan RWReply, len(shards))
+	for _, s := range shards {
+		c.sys.Net.Send(c.self, NodeID{Cluster: s.cluster, Replica: 0},
+			&RWExecute{Txn: txn, Reads: s.reads, Writes: s.writes, ReplyTo: replyTo})
+	}
+	deadline := time.After(c.Timeout)
+	committed := true
+	for i := 0; i < len(shards); i++ {
+		select {
+		case r := <-replyTo:
+			if !r.Committed {
+				committed = false
+			}
+		case <-deadline:
+			return ErrTimeout
+		}
+	}
+	if !committed {
+		return ErrAborted
+	}
+	return nil
+}

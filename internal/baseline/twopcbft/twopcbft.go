@@ -1,0 +1,61 @@
+// Package twopcbft implements the 2PC/BFT baseline of the paper
+// (Secs. 3.5 and 5): a hierarchical BFT system with the same structure as
+// TransEdge — clusters as 2PC participants, every step validated by the
+// intra-cluster BFT protocol — but with no special read-only machinery.
+//
+// Read-only transactions are executed as ordinary coordinated
+// transactions: they acquire a position in a batch, pass conflict
+// detection, and (when they span partitions) pay the full 2PC
+// prepare/commit cycle across clusters. This is exactly the cost the
+// paper's Figure 4 contrasts against TransEdge's commit-free reads.
+//
+// The implementation deliberately reuses the TransEdge substrate: the
+// paper's 2PC/BFT system "has the same structure as TransEdge", so the
+// only difference is the client-side read path, which makes the
+// comparison exact — same batching, same consensus, same network.
+package twopcbft
+
+import (
+	"errors"
+
+	"transedge/internal/client"
+)
+
+// Client executes read-only transactions the 2PC/BFT way.
+type Client struct {
+	*client.Client
+}
+
+// New wraps a TransEdge client.
+func New(c *client.Client) *Client { return &Client{Client: c} }
+
+// ROResult reports a coordination-based read-only transaction outcome.
+type ROResult struct {
+	Values map[string][]byte
+	// Aborted reports that the transaction lost conflict detection and
+	// must be retried by the caller (regular transactions, unlike
+	// TransEdge snapshot reads, can abort).
+	Aborted bool
+}
+
+// ReadOnly reads the keys as a regular transaction: every read joins the
+// read set, and Commit drives the batch + BFT (+ 2PC when the keys span
+// clusters) machinery with an empty write set.
+func (c *Client) ReadOnly(keys []string) (*ROResult, error) {
+	txn := c.Begin()
+	values := make(map[string][]byte, len(keys))
+	for _, k := range keys {
+		v, err := txn.Read(k)
+		if err != nil {
+			return nil, err
+		}
+		values[k] = v
+	}
+	if err := txn.Commit(); err != nil {
+		if errors.Is(err, client.ErrAborted) {
+			return &ROResult{Aborted: true}, nil
+		}
+		return nil, err
+	}
+	return &ROResult{Values: values}, nil
+}

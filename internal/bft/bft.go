@@ -1,0 +1,424 @@
+// Package bft implements the intra-cluster BFT state-machine replication
+// service that TransEdge layers its batches on (the paper uses
+// BFT-SMaRt [13]; this is an equivalent PBFT-style SMR substrate).
+//
+// Each cluster of n = 3f+1 replicas orders batches one at a time, exactly
+// as the paper requires ("a leader writes a batch only if the previous
+// batch is already written"). The flow per batch is:
+//
+//	leader        --PrePrepare(batch)-->  all replicas
+//	each replica  --Prepare(digest)--->   all replicas   (after validating)
+//	each replica  --Commit(digest,sig)->  all replicas   (after 2f+1 Prepares)
+//	deliver when 2f+1 valid Commits are held
+//
+// The Commit message carries the replica's signature over the batch-header
+// digest; any 2f+1 commit quorum therefore contains at least f+1 honest
+// signatures, which the deliverer assembles into the batch certificate
+// that read-only clients later verify. Replicas validate batch *content*
+// (conflict rules, Merkle root recomputation) through an application
+// callback before voting, so a malicious leader cannot get an inconsistent
+// batch certified — the safety property the paper relies on in Sec. 3.2.
+//
+// View changes (leader replacement) are inherited from BFT-SMaRt in the
+// paper and are out of scope here: a byzantine leader can stall its
+// cluster but never violate safety, which the package tests demonstrate.
+//
+// The Replica type is passive: it owns no goroutine. The enclosing node's
+// event loop feeds it messages via Handle, keeping each replica
+// single-threaded and deterministic.
+package bft
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"transedge/internal/cryptoutil"
+	"transedge/internal/protocol"
+	"transedge/internal/transport"
+)
+
+// NodeID aliases the system-wide node identity.
+type NodeID = cryptoutil.NodeID
+
+// Behavior configures fault injection for byzantine testing.
+type Behavior struct {
+	// Silent drops all outbound consensus messages (crash/byzantine-mute).
+	Silent bool
+	// Equivocate makes a byzantine leader send a different batch to every
+	// replica.
+	Equivocate bool
+	// CorruptCertSig makes the replica emit garbage certificate
+	// signatures in its Commit messages.
+	CorruptCertSig bool
+	// TamperBatch makes a byzantine leader flip a committed decision in
+	// the proposed batch after computing honest segments elsewhere; used
+	// to show content validation rejects it.
+	TamperBatch func(*protocol.Batch)
+}
+
+// Config assembles a replica of one cluster's SMR service.
+type Config struct {
+	Cluster  int32
+	Replica  int32
+	N        int // cluster size, 3f+1
+	F        int // tolerated byzantine faults
+	Keys     cryptoutil.KeyPair
+	Ring     *cryptoutil.KeyRing
+	Net      *transport.Network
+	Behavior Behavior
+	// GenesisDigest chains the first proposed batch to the trusted
+	// genesis batch (the initial data load).
+	GenesisDigest protocol.Digest
+
+	// Validate inspects a proposed batch before the replica votes for it.
+	// It runs exactly once per batch ID, in log order. Returning an error
+	// withholds the replica's Prepare vote.
+	Validate func(*protocol.Batch) error
+	// Deliver receives certified batches in strict log order.
+	Deliver func(protocol.CertifiedBatch)
+}
+
+// Message types exchanged within a cluster.
+
+// PrePrepare is the leader's proposal of the next batch.
+type PrePrepare struct {
+	Batch     *protocol.Batch
+	LeaderSig []byte // leader's signature over the batch digest
+}
+
+// Prepare is a replica's vote that it accepts the proposal.
+type Prepare struct {
+	ID     int64
+	Digest protocol.Digest
+}
+
+// Commit is a replica's second-phase vote; CertSig is its certificate
+// signature over the batch-header digest.
+type Commit struct {
+	ID      int64
+	Digest  protocol.Digest
+	CertSig []byte
+}
+
+// instance tracks one batch's consensus progress.
+type instance struct {
+	id        int64
+	batch     *protocol.Batch
+	digest    protocol.Digest
+	validated bool // Validate ran and passed; Prepare sent
+	committed bool // Commit sent
+	delivered bool
+	prepares  map[int32]protocol.Digest
+	commits   map[int32][]byte // replica -> valid cert sig (digest-matched)
+	// pendingCommits buffers commit votes that arrived before this
+	// replica validated the proposal (message interleaving makes this
+	// common: peers only need 2f+1 prepares, not ours).
+	pendingCommits map[int32]*Commit
+}
+
+// Replica is one cluster member's consensus engine.
+type Replica struct {
+	cfg         Config
+	self        NodeID
+	peers       []NodeID
+	nextDeliver int64 // next batch ID to validate/deliver
+	instances   map[int64]*instance
+	// pendingPrePrepare buffers proposals that arrived before their turn.
+	pendingPrePrepare map[int64]*PrePrepare
+	lastDigest        protocol.Digest // digest of last delivered batch
+
+	// Equivocation evidence: leader proposals seen per ID.
+	proposedDigest map[int64]protocol.Digest
+	// Fault counters are atomic so tests and monitoring can read them
+	// while the event loop runs.
+	equivocations atomic.Int64
+	rejected      atomic.Int64
+}
+
+// New creates a replica engine. Batch IDs start at 1 (batch 0 is the
+// implicit genesis data load).
+func New(cfg Config) *Replica {
+	r := &Replica{
+		cfg:               cfg,
+		self:              NodeID{Cluster: cfg.Cluster, Replica: cfg.Replica},
+		nextDeliver:       1,
+		instances:         make(map[int64]*instance),
+		pendingPrePrepare: make(map[int64]*PrePrepare),
+		proposedDigest:    make(map[int64]protocol.Digest),
+		lastDigest:        cfg.GenesisDigest,
+	}
+	for i := 0; i < cfg.N; i++ {
+		r.peers = append(r.peers, NodeID{Cluster: cfg.Cluster, Replica: int32(i)})
+	}
+	return r
+}
+
+// LeaderReplica is the fixed leader index within each cluster.
+const LeaderReplica int32 = 0
+
+// IsLeader reports whether this replica leads its cluster.
+func (r *Replica) IsLeader() bool { return r.cfg.Replica == LeaderReplica }
+
+// NextID returns the ID the next proposed batch must carry.
+func (r *Replica) NextID() int64 { return r.nextDeliver }
+
+// LastDigest returns the digest of the last delivered batch (zero digest
+// before any delivery), for chaining PrevDigest.
+func (r *Replica) LastDigest() protocol.Digest { return r.lastDigest }
+
+// Equivocations returns how many conflicting leader proposals this replica
+// has detected.
+func (r *Replica) Equivocations() int { return int(r.equivocations.Load()) }
+
+// Rejected returns how many proposals failed content validation here.
+func (r *Replica) Rejected() int { return int(r.rejected.Load()) }
+
+// Errors.
+var (
+	ErrNotLeader  = errors.New("bft: propose called on non-leader")
+	ErrBadBatchID = errors.New("bft: proposed batch has wrong ID")
+)
+
+// Propose starts consensus on the next batch. Only the leader calls this,
+// and only after the previous batch was delivered.
+func (r *Replica) Propose(b *protocol.Batch) error {
+	if !r.IsLeader() {
+		return ErrNotLeader
+	}
+	if b.ID != r.nextDeliver {
+		return fmt.Errorf("%w: got %d, want %d", ErrBadBatchID, b.ID, r.nextDeliver)
+	}
+	if r.cfg.Behavior.TamperBatch != nil {
+		r.cfg.Behavior.TamperBatch(b)
+	}
+	if r.cfg.Behavior.Equivocate {
+		// Byzantine leader: different content per replica.
+		for i, peer := range r.peers {
+			forged := *b
+			forged.Timestamp = b.Timestamp + int64(i)
+			d := forged.Digest()
+			r.send(peer, &PrePrepare{Batch: &forged, LeaderSig: r.cfg.Keys.Sign(d[:])})
+		}
+		return nil
+	}
+	d := b.Digest()
+	pp := &PrePrepare{Batch: b, LeaderSig: r.cfg.Keys.Sign(d[:])}
+	for _, peer := range r.peers {
+		r.send(peer, pp)
+	}
+	return nil
+}
+
+func (r *Replica) send(to NodeID, msg any) {
+	if r.cfg.Behavior.Silent {
+		return
+	}
+	r.cfg.Net.Send(r.self, to, msg)
+}
+
+func (r *Replica) broadcast(msg any) {
+	for _, peer := range r.peers {
+		r.send(peer, msg)
+	}
+}
+
+// Handle processes one consensus message. It returns true if the message
+// was a consensus message (consumed), false if the payload is not for this
+// layer.
+func (r *Replica) Handle(from NodeID, payload any) bool {
+	switch m := payload.(type) {
+	case *PrePrepare:
+		r.onPrePrepare(from, m)
+	case *Prepare:
+		r.onPrepare(from, m)
+	case *Commit:
+		r.onCommit(from, m)
+	default:
+		return false
+	}
+	return true
+}
+
+func (r *Replica) inst(id int64) *instance {
+	in, ok := r.instances[id]
+	if !ok {
+		in = &instance{
+			id:             id,
+			prepares:       make(map[int32]protocol.Digest),
+			commits:        make(map[int32][]byte),
+			pendingCommits: make(map[int32]*Commit),
+		}
+		r.instances[id] = in
+	}
+	return in
+}
+
+func (r *Replica) onPrePrepare(from NodeID, m *PrePrepare) {
+	if from.Cluster != r.cfg.Cluster || from.Replica != LeaderReplica {
+		return // only the cluster leader proposes
+	}
+	b := m.Batch
+	if b == nil || b.Cluster != r.cfg.Cluster || b.ID < r.nextDeliver {
+		return
+	}
+	d := b.Digest()
+	if !cryptoutil.Verify(r.cfg.Ring.PublicKey(from), d[:], m.LeaderSig) {
+		return // forged proposal
+	}
+	if prev, ok := r.proposedDigest[b.ID]; ok && prev != d {
+		// Leader equivocation: conflicting proposals for the same slot.
+		r.equivocations.Add(1)
+		return
+	}
+	r.proposedDigest[b.ID] = d
+
+	if b.ID > r.nextDeliver {
+		r.pendingPrePrepare[b.ID] = m
+		return
+	}
+	r.startInstance(m)
+}
+
+// startInstance validates the proposal for the current slot and votes.
+func (r *Replica) startInstance(m *PrePrepare) {
+	b := m.Batch
+	in := r.inst(b.ID)
+	if in.validated || in.delivered {
+		return
+	}
+	if b.PrevDigest != r.lastDigest {
+		r.rejected.Add(1)
+		return // does not extend our log
+	}
+	if r.cfg.Validate != nil {
+		if err := r.cfg.Validate(b); err != nil {
+			r.rejected.Add(1)
+			return // withhold vote; malicious content dies here
+		}
+	}
+	in.batch = b
+	in.digest = b.Digest()
+	in.validated = true
+	r.broadcast(&Prepare{ID: b.ID, Digest: in.digest})
+	// Replay commit votes that raced ahead of the proposal.
+	for rep, c := range in.pendingCommits {
+		delete(in.pendingCommits, rep)
+		r.acceptCommit(in, NodeID{Cluster: r.cfg.Cluster, Replica: rep}, c)
+	}
+	r.maybeCommit(in)
+	r.maybeDeliver(in)
+}
+
+func (r *Replica) onPrepare(from NodeID, m *Prepare) {
+	if from.Cluster != r.cfg.Cluster || m.ID < r.nextDeliver {
+		return
+	}
+	in := r.inst(m.ID)
+	if _, dup := in.prepares[from.Replica]; dup {
+		return
+	}
+	in.prepares[from.Replica] = m.Digest
+	r.maybeCommit(in)
+}
+
+// maybeCommit sends the Commit vote once 2f+1 matching Prepares are held
+// for the digest this replica validated.
+func (r *Replica) maybeCommit(in *instance) {
+	if !in.validated || in.committed {
+		return
+	}
+	quorum := 2*r.cfg.F + 1
+	matching := 0
+	for _, d := range in.prepares {
+		if d == in.digest {
+			matching++
+		}
+	}
+	if matching < quorum {
+		return
+	}
+	in.committed = true
+	sig := r.cfg.Keys.Sign(in.digest[:])
+	if r.cfg.Behavior.CorruptCertSig {
+		sig = make([]byte, len(sig)) // zeroed garbage
+	}
+	r.broadcast(&Commit{ID: in.id, Digest: in.digest, CertSig: sig})
+}
+
+func (r *Replica) onCommit(from NodeID, m *Commit) {
+	if from.Cluster != r.cfg.Cluster || m.ID < r.nextDeliver {
+		return
+	}
+	in := r.inst(m.ID)
+	if _, dup := in.commits[from.Replica]; dup {
+		return
+	}
+	if !in.validated {
+		// Cannot check the digest yet; hold until validation.
+		if _, dup := in.pendingCommits[from.Replica]; !dup {
+			in.pendingCommits[from.Replica] = m
+		}
+		return
+	}
+	r.acceptCommit(in, from, m)
+	r.maybeDeliver(in)
+}
+
+// acceptCommit records a commit vote after digest and signature checks.
+// Only votes whose certificate signature actually verifies are counted —
+// corrupt signatures must never reach the assembled certificate.
+func (r *Replica) acceptCommit(in *instance, from NodeID, m *Commit) {
+	if m.Digest != in.digest {
+		return
+	}
+	pub := r.cfg.Ring.PublicKey(from)
+	if pub == nil || !cryptoutil.Verify(pub, m.Digest[:], m.CertSig) {
+		return
+	}
+	in.commits[from.Replica] = m.CertSig
+}
+
+// maybeDeliver delivers the instance once it holds a 2f+1 commit quorum,
+// assembling the f+1-signature certificate from the verified commit
+// signatures. Delivery is strictly in ID order.
+func (r *Replica) maybeDeliver(in *instance) {
+	if in.delivered || !in.validated || in.id != r.nextDeliver {
+		return
+	}
+	quorum := 2*r.cfg.F + 1
+	if len(in.commits) < quorum {
+		return
+	}
+	in.delivered = true
+
+	// Deterministic certificate: lowest replica indices first.
+	replicas := make([]int32, 0, len(in.commits))
+	for rep := range in.commits {
+		replicas = append(replicas, rep)
+	}
+	sort.Slice(replicas, func(i, j int) bool { return replicas[i] < replicas[j] })
+	cert := cryptoutil.Certificate{Cluster: r.cfg.Cluster}
+	for _, rep := range replicas[:r.cfg.F+1] {
+		cert.Signatures = append(cert.Signatures, cryptoutil.Signature{
+			Signer: NodeID{Cluster: r.cfg.Cluster, Replica: rep},
+			Sig:    in.commits[rep],
+		})
+	}
+
+	r.lastDigest = in.digest
+	r.nextDeliver = in.id + 1
+	delete(r.instances, in.id)
+	delete(r.proposedDigest, in.id)
+
+	if r.cfg.Deliver != nil {
+		r.cfg.Deliver(protocol.CertifiedBatch{Batch: in.batch, Cert: cert})
+	}
+
+	// A buffered proposal for the next slot can now be processed.
+	if pp, ok := r.pendingPrePrepare[r.nextDeliver]; ok {
+		delete(r.pendingPrePrepare, r.nextDeliver)
+		r.startInstance(pp)
+	}
+}

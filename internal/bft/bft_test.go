@@ -1,0 +1,392 @@
+package bft
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"transedge/internal/cryptoutil"
+	"transedge/internal/protocol"
+	"transedge/internal/transport"
+)
+
+// testCluster runs n replica engines, each on its own event-loop
+// goroutine, and records deliveries per replica.
+type testCluster struct {
+	t        *testing.T
+	net      *transport.Network
+	ring     *cryptoutil.KeyRing
+	replicas []*Replica
+	n, f     int
+
+	mu        sync.Mutex
+	delivered map[int32][]protocol.CertifiedBatch
+	notify    chan struct{}
+	stop      []chan struct{}
+	wg        sync.WaitGroup
+}
+
+type clusterOpt func(i int32, cfg *Config)
+
+func withBehavior(replica int32, b Behavior) clusterOpt {
+	return func(i int32, cfg *Config) {
+		if i == replica {
+			cfg.Behavior = b
+		}
+	}
+}
+
+func withValidate(f func(*protocol.Batch) error) clusterOpt {
+	return func(i int32, cfg *Config) { cfg.Validate = f }
+}
+
+func newTestCluster(t *testing.T, f int, opts ...clusterOpt) *testCluster {
+	t.Helper()
+	n := 3*f + 1
+	tc := &testCluster{
+		t:         t,
+		net:       transport.NewNetwork(),
+		ring:      cryptoutil.NewKeyRing(),
+		n:         n,
+		f:         f,
+		delivered: make(map[int32][]protocol.CertifiedBatch),
+		notify:    make(chan struct{}, 1024),
+	}
+	keys := make([]cryptoutil.KeyPair, n)
+	for i := 0; i < n; i++ {
+		id := NodeID{Cluster: 0, Replica: int32(i)}
+		keys[i] = cryptoutil.DeriveKeyPair(id, 77)
+		tc.ring.Add(id, keys[i].Public)
+	}
+	for i := 0; i < n; i++ {
+		i := int32(i)
+		cfg := Config{
+			Cluster: 0, Replica: i, N: n, F: f,
+			Keys: keys[i], Ring: tc.ring, Net: tc.net,
+			Deliver: func(cb protocol.CertifiedBatch) {
+				tc.mu.Lock()
+				tc.delivered[i] = append(tc.delivered[i], cb)
+				tc.mu.Unlock()
+				select {
+				case tc.notify <- struct{}{}:
+				default:
+				}
+			},
+		}
+		for _, o := range opts {
+			o(i, &cfg)
+		}
+		r := New(cfg)
+		tc.replicas = append(tc.replicas, r)
+
+		inbox := tc.net.Register(NodeID{Cluster: 0, Replica: i})
+		stop := make(chan struct{})
+		tc.stop = append(tc.stop, stop)
+		tc.wg.Add(1)
+		go func(r *Replica, inbox <-chan transport.Envelope, stop chan struct{}) {
+			defer tc.wg.Done()
+			for {
+				select {
+				case env, ok := <-inbox:
+					if !ok {
+						return
+					}
+					r.Handle(env.From, env.Payload)
+				case <-stop:
+					return
+				}
+			}
+		}(r, inbox, stop)
+	}
+	t.Cleanup(func() {
+		for _, s := range tc.stop {
+			close(s)
+		}
+		tc.net.Stop()
+		tc.wg.Wait()
+	})
+	return tc
+}
+
+func (tc *testCluster) deliveredCount(replica int32) int {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return len(tc.delivered[replica])
+}
+
+// waitDelivered waits until every replica in want has delivered at least
+// count batches, or fails after the timeout.
+func (tc *testCluster) waitDelivered(count int, replicas []int32, timeout time.Duration) bool {
+	deadline := time.After(timeout)
+	for {
+		done := true
+		for _, r := range replicas {
+			if tc.deliveredCount(r) < count {
+				done = false
+				break
+			}
+		}
+		if done {
+			return true
+		}
+		select {
+		case <-tc.notify:
+		case <-deadline:
+			return false
+		}
+	}
+}
+
+func testBatch(id int64, prev protocol.Digest) *protocol.Batch {
+	return &protocol.Batch{
+		Cluster:    0,
+		ID:         id,
+		PrevDigest: prev,
+		Timestamp:  time.Now().UnixNano(),
+		Local: []protocol.Transaction{{
+			ID:     protocol.MakeTxnID(1, uint32(id)),
+			Writes: []protocol.WriteOp{{Key: "k", Value: []byte(fmt.Sprintf("v%d", id))}},
+		}},
+		CD:  protocol.NewCDVector(1),
+		LCE: -1,
+	}
+}
+
+func allReplicas(n int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(i)
+	}
+	return out
+}
+
+// propose runs the leader's Propose on the leader's event-loop context.
+// The test harness is the only writer to replica 0 before the proposal, so
+// direct invocation is race-free here; real nodes call Propose from their
+// own event loop.
+func (tc *testCluster) propose(b *protocol.Batch) error {
+	return tc.replicas[0].Propose(b)
+}
+
+func TestConsensusCommitsOneBatch(t *testing.T) {
+	tc := newTestCluster(t, 1)
+	if err := tc.propose(testBatch(1, protocol.Digest{})); err != nil {
+		t.Fatal(err)
+	}
+	if !tc.waitDelivered(1, allReplicas(4), 5*time.Second) {
+		t.Fatal("batch not delivered at all replicas")
+	}
+	// Certificates must verify with f+1 threshold at every replica.
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	var wantDigest protocol.Digest
+	for r := int32(0); r < 4; r++ {
+		cb := tc.delivered[r][0]
+		d := cb.Batch.Digest()
+		if r == 0 {
+			wantDigest = d
+		} else if d != wantDigest {
+			t.Fatalf("replica %d delivered a different batch", r)
+		}
+		if err := cryptoutil.VerifyCertificate(tc.ring, cb.Cert, d[:], tc.f+1); err != nil {
+			t.Fatalf("replica %d certificate invalid: %v", r, err)
+		}
+	}
+}
+
+func TestConsensusSequentialBatchesChain(t *testing.T) {
+	tc := newTestCluster(t, 1)
+	prev := protocol.Digest{}
+	for i := int64(1); i <= 5; i++ {
+		b := testBatch(i, prev)
+		if err := tc.propose(b); err != nil {
+			t.Fatal(err)
+		}
+		if !tc.waitDelivered(int(i), []int32{0}, 5*time.Second) {
+			t.Fatalf("batch %d not delivered at leader", i)
+		}
+		prev = b.Digest()
+	}
+	if !tc.waitDelivered(5, allReplicas(4), 5*time.Second) {
+		t.Fatal("followers did not deliver all batches")
+	}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	for r := int32(0); r < 4; r++ {
+		for i := 1; i < 5; i++ {
+			prevDigest := tc.delivered[r][i-1].Batch.Digest()
+			if tc.delivered[r][i].Batch.PrevDigest != prevDigest {
+				t.Fatalf("replica %d: batch %d does not chain", r, i+1)
+			}
+		}
+	}
+}
+
+func TestProposeWrongIDRejected(t *testing.T) {
+	tc := newTestCluster(t, 1)
+	if err := tc.propose(testBatch(7, protocol.Digest{})); !errors.Is(err, ErrBadBatchID) {
+		t.Fatalf("err = %v, want ErrBadBatchID", err)
+	}
+}
+
+func TestNonLeaderCannotPropose(t *testing.T) {
+	tc := newTestCluster(t, 1)
+	if err := tc.replicas[1].Propose(testBatch(1, protocol.Digest{})); !errors.Is(err, ErrNotLeader) {
+		t.Fatalf("err = %v, want ErrNotLeader", err)
+	}
+}
+
+func TestToleratesSilentFollower(t *testing.T) {
+	tc := newTestCluster(t, 1, withBehavior(3, Behavior{Silent: true}))
+	if err := tc.propose(testBatch(1, protocol.Digest{})); err != nil {
+		t.Fatal(err)
+	}
+	// The three honest replicas (incl. leader) form a 2f+1 quorum.
+	if !tc.waitDelivered(1, []int32{0, 1, 2}, 5*time.Second) {
+		t.Fatal("cluster did not survive one silent replica")
+	}
+}
+
+func TestToleratesFSilentFollowersAtF2(t *testing.T) {
+	tc := newTestCluster(t, 2,
+		withBehavior(5, Behavior{Silent: true}),
+		withBehavior(6, Behavior{Silent: true}))
+	if err := tc.propose(testBatch(1, protocol.Digest{})); err != nil {
+		t.Fatal(err)
+	}
+	if !tc.waitDelivered(1, []int32{0, 1, 2, 3, 4}, 5*time.Second) {
+		t.Fatal("cluster did not survive f=2 silent replicas")
+	}
+}
+
+func TestEquivocatingLeaderCannotCommit(t *testing.T) {
+	tc := newTestCluster(t, 1, withBehavior(0, Behavior{Equivocate: true}))
+	if err := tc.propose(testBatch(1, protocol.Digest{})); err != nil {
+		t.Fatal(err)
+	}
+	// No replica can gather 2f+1 matching prepares for any digest, so no
+	// batch is ever delivered: safety holds, liveness stalls (view change
+	// would recover in a full deployment).
+	time.Sleep(300 * time.Millisecond)
+	for r := int32(0); r < 4; r++ {
+		if tc.deliveredCount(r) != 0 {
+			t.Fatalf("replica %d delivered under equivocation", r)
+		}
+	}
+}
+
+func TestCorruptCertSigExcludedFromCertificate(t *testing.T) {
+	tc := newTestCluster(t, 1, withBehavior(2, Behavior{CorruptCertSig: true}))
+	if err := tc.propose(testBatch(1, protocol.Digest{})); err != nil {
+		t.Fatal(err)
+	}
+	if !tc.waitDelivered(1, []int32{0, 1, 3}, 5*time.Second) {
+		t.Fatal("cluster stalled with one corrupt-signature replica")
+	}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	for _, r := range []int32{0, 1, 3} {
+		cb := tc.delivered[r][0]
+		d := cb.Batch.Digest()
+		if err := cryptoutil.VerifyCertificate(tc.ring, cb.Cert, d[:], tc.f+1); err != nil {
+			t.Fatalf("replica %d assembled an invalid certificate: %v", r, err)
+		}
+		for _, s := range cb.Cert.Signatures {
+			if s.Signer.Replica == 2 {
+				t.Fatal("corrupt signature included in certificate")
+			}
+		}
+	}
+}
+
+func TestContentValidationBlocksMaliciousLeader(t *testing.T) {
+	reject := func(b *protocol.Batch) error {
+		for _, txn := range b.Local {
+			for _, w := range txn.Writes {
+				if string(w.Value) == "evil" {
+					return errors.New("invalid write")
+				}
+			}
+		}
+		return nil
+	}
+	tamper := func(b *protocol.Batch) {
+		b.Local[0].Writes[0].Value = []byte("evil")
+	}
+	tc := newTestCluster(t, 1, withValidate(reject), withBehavior(0, Behavior{TamperBatch: tamper}))
+	if err := tc.propose(testBatch(1, protocol.Digest{})); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	for r := int32(0); r < 4; r++ {
+		if tc.deliveredCount(r) != 0 {
+			t.Fatalf("replica %d committed a batch that fails validation", r)
+		}
+	}
+	// Followers must have recorded the rejection.
+	total := 0
+	for _, r := range tc.replicas[1:] {
+		total += r.Rejected()
+	}
+	if total == 0 {
+		t.Fatal("no replica recorded a validation rejection")
+	}
+}
+
+func TestForgedPrePrepareIgnored(t *testing.T) {
+	tc := newTestCluster(t, 1)
+	// A non-leader replica forges a proposal; followers must ignore it
+	// because proposals are only accepted from the leader identity.
+	b := testBatch(1, protocol.Digest{})
+	d := b.Digest()
+	forged := &PrePrepare{Batch: b, LeaderSig: make([]byte, 64)}
+	tc.net.Send(NodeID{Cluster: 0, Replica: 2}, NodeID{Cluster: 0, Replica: 1}, forged)
+	// Also from the leader's identity but with a bad signature: the
+	// envelope From can't be forged in-process, so emulate a corrupted
+	// leader signature instead.
+	tc.net.Send(NodeID{Cluster: 0, Replica: 0}, NodeID{Cluster: 0, Replica: 1}, &PrePrepare{Batch: b, LeaderSig: make([]byte, 64)})
+	_ = d
+	time.Sleep(200 * time.Millisecond)
+	if tc.deliveredCount(1) != 0 {
+		t.Fatal("forged proposal progressed")
+	}
+}
+
+func TestWithLatencyStillCommits(t *testing.T) {
+	tc := newTestCluster(t, 1)
+	tc.net.SetLatency(transport.ClusterLatency(2*time.Millisecond, 10*time.Millisecond))
+	prev := protocol.Digest{}
+	for i := int64(1); i <= 3; i++ {
+		b := testBatch(i, prev)
+		if err := tc.propose(b); err != nil {
+			t.Fatal(err)
+		}
+		if !tc.waitDelivered(int(i), allReplicas(4), 10*time.Second) {
+			t.Fatalf("batch %d not delivered under latency", i)
+		}
+		prev = b.Digest()
+	}
+}
+
+func TestNextIDAdvances(t *testing.T) {
+	tc := newTestCluster(t, 1)
+	if got := tc.replicas[0].NextID(); got != 1 {
+		t.Fatalf("NextID = %d, want 1", got)
+	}
+	if err := tc.propose(testBatch(1, protocol.Digest{})); err != nil {
+		t.Fatal(err)
+	}
+	if !tc.waitDelivered(1, []int32{0}, 5*time.Second) {
+		t.Fatal("not delivered")
+	}
+	// NextID is read by the leader loop after delivery; synchronize via
+	// the delivered record rather than racing on internals.
+	tc.mu.Lock()
+	got := tc.delivered[0][0].Batch.ID
+	tc.mu.Unlock()
+	if got != 1 {
+		t.Fatalf("delivered ID = %d", got)
+	}
+}

@@ -1,0 +1,176 @@
+// Package client implements the TransEdge client protocol: the
+// transaction object of Sec. 2 ("Interface"), the commit path of
+// Sec. 3.3.1, and the verified snapshot read-only transaction protocol of
+// Sec. 4 (Algorithm 2), including the second round that repairs
+// unsatisfied cross-partition dependencies.
+//
+// The client trusts no single node. Every read-only answer is checked
+// against a Merkle membership proof and an f+1-signature batch
+// certificate, so a byzantine replica can neither forge values nor lie
+// about the dependency metadata (CD vector, LCE) attached to them.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"transedge/internal/cryptoutil"
+	"transedge/internal/protocol"
+	"transedge/internal/transport"
+)
+
+// NodeID aliases the system-wide identity.
+type NodeID = cryptoutil.NodeID
+
+// Errors surfaced by the client.
+var (
+	ErrTimeout      = errors.New("client: request timed out")
+	ErrAborted      = errors.New("client: transaction aborted")
+	ErrVerification = errors.New("client: response failed verification")
+	ErrStale        = errors.New("client: response older than the staleness bound")
+	ErrInconsistent = errors.New("client: read-only snapshot inconsistent after second round")
+	ErrServer       = errors.New("client: server error")
+)
+
+// Config assembles a client.
+type Config struct {
+	ID       uint32
+	Net      *transport.Network
+	Ring     *cryptoutil.KeyRing
+	Part     protocol.Partitioner
+	Clusters int
+	// Timeout bounds each RPC (default 10s).
+	Timeout time.Duration
+	// MaxStaleness, when positive, makes read-only transactions reject
+	// batches older than this bound (freshness, Sec. 4.4.2).
+	MaxStaleness time.Duration
+	// ReadTarget picks the replica serving read-set reads for a cluster
+	// (default: the leader). Reads may go to any replica.
+	ReadTarget func(cluster int32) NodeID
+	// ROTarget picks the single node per partition answering read-only
+	// transactions (default: the leader).
+	ROTarget func(cluster int32) NodeID
+	// Seed drives the coordinator choice for distributed commits.
+	Seed int64
+}
+
+// Client issues transactions against a TransEdge deployment.
+type Client struct {
+	cfg  Config
+	self NodeID
+	seq  atomic.Uint32
+	rng  *rand.Rand
+}
+
+// New creates a client. The client registers no mailbox: replies arrive on
+// per-request channels.
+func New(cfg Config) *Client {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	if cfg.ReadTarget == nil {
+		cfg.ReadTarget = func(c int32) NodeID { return NodeID{Cluster: c, Replica: 0} }
+	}
+	if cfg.ROTarget == nil {
+		cfg.ROTarget = func(c int32) NodeID { return NodeID{Cluster: c, Replica: 0} }
+	}
+	return &Client{
+		cfg:  cfg,
+		self: NodeID{Cluster: transport.ClientCluster, Replica: int32(cfg.ID)},
+		rng:  rand.New(rand.NewSource(cfg.Seed ^ int64(cfg.ID))),
+	}
+}
+
+// threshold returns the certificate threshold (f+1) for a cluster.
+func (c *Client) threshold(cluster int32) int {
+	n := c.cfg.Ring.ClusterSize(cluster)
+	return (n-1)/3 + 1
+}
+
+// Txn is a client-side transaction object: reads record observed versions
+// for OCC validation; writes are buffered until commit (Sec. 2).
+type Txn struct {
+	c        *Client
+	id       protocol.TxnID
+	reads    []protocol.ReadEntry
+	writes   []protocol.WriteOp
+	buffered map[string][]byte // read-your-own-writes
+	done     bool
+}
+
+// Begin opens a transaction.
+func (c *Client) Begin() *Txn {
+	return &Txn{
+		c:        c,
+		id:       protocol.MakeTxnID(c.cfg.ID, c.seq.Add(1)),
+		buffered: make(map[string][]byte),
+	}
+}
+
+// ID returns the transaction's identity.
+func (t *Txn) ID() protocol.TxnID { return t.id }
+
+// Read fetches a key's committed value and records it in the read set.
+// Buffered writes of this transaction are read back directly.
+func (t *Txn) Read(key string) ([]byte, error) {
+	if v, ok := t.buffered[key]; ok {
+		return v, nil
+	}
+	cluster := t.c.cfg.Part.Of(key)
+	replyTo := make(chan protocol.ReadReply, 1)
+	t.c.cfg.Net.Send(t.c.self, t.c.cfg.ReadTarget(cluster), &protocol.ReadRequest{Key: key, ReplyTo: replyTo})
+	select {
+	case r := <-replyTo:
+		version := int64(-1)
+		var value []byte
+		if r.Found {
+			version = r.Version
+			value = r.Value
+		}
+		t.reads = append(t.reads, protocol.ReadEntry{Key: key, Version: version})
+		return value, nil
+	case <-time.After(t.c.cfg.Timeout):
+		return nil, fmt.Errorf("%w: read %q", ErrTimeout, key)
+	}
+}
+
+// Write buffers a write; nothing reaches the system until Commit.
+func (t *Txn) Write(key string, value []byte) {
+	t.writes = append(t.writes, protocol.WriteOp{Key: key, Value: value})
+	t.buffered[key] = value
+}
+
+// Commit submits the transaction. The coordinator cluster is chosen among
+// the accessed partitions (Sec. 3.3.1). Returns ErrAborted (with the
+// conflict reason wrapped) when conflict detection rejects it.
+func (t *Txn) Commit() error {
+	if t.done {
+		return errors.New("client: transaction already finished")
+	}
+	t.done = true
+	if len(t.reads) == 0 && len(t.writes) == 0 {
+		return nil
+	}
+	txn := protocol.Transaction{
+		ID:         t.id,
+		Reads:      t.reads,
+		Writes:     t.writes,
+		Partitions: t.c.cfg.Part.PartitionsOf(t.reads, t.writes),
+	}
+	coord := txn.Partitions[t.c.rng.Intn(len(txn.Partitions))]
+	replyTo := make(chan protocol.CommitReply, 1)
+	t.c.cfg.Net.Send(t.c.self, NodeID{Cluster: coord, Replica: 0},
+		&protocol.CommitRequest{Txn: txn, ReplyTo: replyTo})
+	select {
+	case r := <-replyTo:
+		if r.Status != protocol.StatusCommitted {
+			return fmt.Errorf("%w: %s", ErrAborted, r.Reason)
+		}
+		return nil
+	case <-time.After(t.c.cfg.Timeout):
+		return fmt.Errorf("%w: commit %v", ErrTimeout, t.id)
+	}
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"transedge/internal/protocol"
+)
+
+// onDeliver applies a consensus-committed batch to the replica's state:
+// the storage and Merkle tree versions, the prepared-key reservations, the
+// prepare-group queue, and — on the leader — the 2PC driving steps that
+// become due once a batch is durably in the SMR log (steps 3, 5, and 7 of
+// Fig. 3 all fire "after the batch is written").
+func (n *Node) onDeliver(cb protocol.CertifiedBatch) {
+	b := cb.Batch
+	entry := &logEntry{batch: b, header: b.Header(), cert: cb.Cert}
+
+	// Apply the batch's write sets to versioned storage.
+	writes := make(map[string][]byte)
+	for i := range b.Local {
+		for _, w := range b.Local[i].Writes {
+			writes[w.Key] = w.Value
+		}
+	}
+	for i := range b.Committed {
+		rec := &b.Committed[i]
+		if rec.Decision != protocol.DecisionCommit {
+			continue
+		}
+		for _, w := range n.localWrites(&rec.Txn) {
+			writes[w.Key] = w.Value
+		}
+	}
+	if len(writes) > 0 {
+		n.st.Apply(b.ID, writes)
+	}
+
+	// Install the Merkle version computed during validation.
+	if n.validatedTree != nil && n.validatedBatchID == b.ID {
+		n.curTree = n.validatedTree
+	} else {
+		n.curTree = n.applyBatchToTree(n.curTree, b)
+	}
+	n.validatedTree = nil
+	n.trees[b.ID] = n.curTree
+	n.log = append(n.log, entry)
+	n.Metrics.BatchesCommitted++
+
+	// Local transactions are committed now (Sec. 3.2).
+	for i := range b.Local {
+		t := &b.Local[i]
+		n.Metrics.LocalCommitted++
+		if n.IsLeader() {
+			n.releasePending(t.Reads, t.Writes)
+			if ch, ok := n.waiters[t.ID]; ok {
+				delete(n.waiters, t.ID)
+				n.reply(ch, protocol.CommitReply{
+					TxnID: t.ID, Status: protocol.StatusCommitted, CommitBatch: b.ID,
+				})
+			}
+		}
+	}
+
+	// Prepared segment: open a new prepare group, reserve footprints, and
+	// (leader) emit the 2PC messages that were gated on durability.
+	if len(b.Prepared) > 0 {
+		g := &group{prepareBatch: b.ID}
+		proof := protocol.PrepareProof{Header: entry.header, Cert: entry.cert, Prepared: b.Prepared}
+		for i := range b.Prepared {
+			rec := b.Prepared[i]
+			id := rec.Txn.ID
+			reads, wr := n.localReads(&rec.Txn), n.localWrites(&rec.Txn)
+			for _, r := range reads {
+				n.preparedReads.add(r.Key)
+			}
+			for _, w := range wr {
+				n.preparedWrites.add(w.Key)
+			}
+			dt := n.distTxns[id]
+			if dt == nil {
+				dt = &distTxn{rec: rec}
+				n.distTxns[id] = dt
+			}
+			dt.prepareBatch = b.ID
+			g.ids = append(g.ids, id)
+			delete(n.pendingEvidence, id)
+
+			if !n.IsLeader() {
+				continue
+			}
+			n.releasePending(reads, wr) // moved into the prepared sets
+
+			if rec.CoordCluster == n.cfg.Cluster {
+				// Step 3: we coordinate — our prepare is durable, so ask
+				// every other participant to prepare, and record our own
+				// implicit positive vote.
+				self := protocol.PreparedVote{
+					TxnID: id, FromCluster: n.cfg.Cluster,
+					Vote: protocol.DecisionCommit, Proof: proof,
+				}
+				dt.votesByPart[n.cfg.Cluster] = &self
+				cp := &protocol.CoordinatorPrepare{TxnID: id, CoordCluster: n.cfg.Cluster, Proof: proof}
+				for _, part := range rec.Txn.Partitions {
+					if part != n.cfg.Cluster {
+						n.cfg.Net.Send(n.self, leaderOf(part), cp)
+					}
+				}
+				n.maybeDecide(dt)
+			} else {
+				// Step 5: we participate — send our certified vote to the
+				// coordinator, and apply any decision that raced ahead.
+				n.cfg.Net.Send(n.self, leaderOf(rec.CoordCluster), &protocol.PreparedVote{
+					TxnID: id, FromCluster: n.cfg.Cluster,
+					Vote: protocol.DecisionCommit, Proof: proof,
+				})
+				if d := n.pendingDecisions[id]; d != nil {
+					delete(n.pendingDecisions, id)
+					n.applyDecision(dt, d)
+				}
+			}
+		}
+		n.groups = append(n.groups, g)
+	}
+
+	// Committed segment: the oldest prepare group is decided; release its
+	// reservations and finish the transactions (step 8 of Fig. 3).
+	if len(b.Committed) > 0 {
+		n.groups = n.groups[1:]
+		for i := range b.Committed {
+			rec := &b.Committed[i]
+			id := rec.Txn.ID
+			if dt := n.distTxns[id]; dt != nil {
+				for _, r := range n.localReads(&dt.rec.Txn) {
+					n.preparedReads.release(r.Key)
+				}
+				for _, w := range n.localWrites(&dt.rec.Txn) {
+					n.preparedWrites.release(w.Key)
+				}
+				if n.IsLeader() && dt.isCoord {
+					status := protocol.StatusCommitted
+					if rec.Decision != protocol.DecisionCommit {
+						status = protocol.StatusAborted
+					}
+					if ch, ok := n.waiters[id]; ok {
+						delete(n.waiters, id)
+						n.reply(ch, protocol.CommitReply{
+							TxnID: id, Status: status, CommitBatch: b.ID,
+							Reason: reasonFor(rec.Decision),
+						})
+					}
+				}
+				delete(n.distTxns, id)
+			}
+			delete(n.pendingDecisions, id)
+			if rec.Decision == protocol.DecisionCommit {
+				n.Metrics.DistCommitted++
+			} else {
+				n.Metrics.DistAborted++
+			}
+		}
+	}
+
+	if n.IsLeader() {
+		n.proposing = false
+	}
+	n.pruneSnapshots()
+	n.serveParked()
+	if n.IsLeader() {
+		n.maybeBuildBatch(false)
+	}
+}
+
+// pruneSnapshots enforces RetainBatches: old Merkle versions, store
+// versions, and batch bodies are dropped; headers and certificates stay
+// (they are tiny and keep audits possible).
+func (n *Node) pruneSnapshots() {
+	retain := n.cfg.RetainBatches
+	if retain <= 0 {
+		return
+	}
+	cutoff := n.lastBatchID() - int64(retain) + 1
+	if cutoff <= n.oldestSnapshot {
+		return
+	}
+	for id := n.oldestSnapshot; id < cutoff; id++ {
+		delete(n.trees, id)
+		n.log[id].batch = nil
+	}
+	n.st.Prune(cutoff)
+	n.oldestSnapshot = cutoff
+}
+
+func reasonFor(d protocol.Decision) string {
+	if d == protocol.DecisionCommit {
+		return ""
+	}
+	return "2PC participant voted abort"
+}
+
+// releasePending drops a footprint from the leader's pending sets once the
+// batch carrying it is durable.
+func (n *Node) releasePending(reads []protocol.ReadEntry, writes []protocol.WriteOp) {
+	for _, r := range reads {
+		n.pendingReads.release(r.Key)
+	}
+	for _, w := range writes {
+		n.pendingWrites.release(w.Key)
+	}
+}

@@ -1,0 +1,357 @@
+// Package core implements the TransEdge protocol (paper Secs. 3 and 4):
+// the per-cluster batch pipeline with the four-segment SMR log, OCC
+// conflict detection (Def. 3.1), Two-Phase Commit layered over BFT
+// consensus, prepare groups with the ordering constraint (Def. 4.1),
+// Conflict-Dependency vectors (Algorithm 1), Last-Committed-Epoch numbers,
+// and the server side of the snapshot read-only transaction protocol.
+//
+// Every replica runs a Node with a single event-loop goroutine; all
+// protocol state is confined to that goroutine, so the package needs no
+// locks beyond the thread-safe substrates (store, network).
+package core
+
+import (
+	"sync"
+	"time"
+
+	"transedge/internal/bft"
+	"transedge/internal/cryptoutil"
+	"transedge/internal/merkle"
+	"transedge/internal/protocol"
+	"transedge/internal/store"
+	"transedge/internal/transport"
+)
+
+// NodeID aliases the system-wide identity.
+type NodeID = cryptoutil.NodeID
+
+// NodeConfig assembles one replica.
+type NodeConfig struct {
+	Cluster    int32
+	Replica    int32
+	Clusters   int // number of partitions in the system
+	N          int // replicas per cluster (3f+1)
+	F          int
+	Keys       cryptoutil.KeyPair
+	Ring       *cryptoutil.KeyRing
+	Net        *transport.Network
+	Part       protocol.Partitioner
+	Behavior   bft.Behavior
+	ROBehavior ROBehavior
+
+	// BatchInterval is how often the leader flushes pending work into a
+	// batch (the paper's batch-processing timer, Fig. 2 event 6).
+	BatchInterval time.Duration
+	// BatchMaxSize triggers an immediate batch once this many
+	// transactions are pending (the paper's size trigger).
+	BatchMaxSize int
+	// FreshnessWindow bounds how far a proposed batch timestamp may
+	// deviate from a validating replica's clock (Sec. 4.4.2). Zero
+	// disables the check.
+	FreshnessWindow time.Duration
+	// ROParkTimeout bounds how long a second-round read-only request may
+	// wait for a dependency batch to commit.
+	ROParkTimeout time.Duration
+	// RetainBatches bounds how many historical snapshot versions (Merkle
+	// trees + store versions + batch bodies) a replica keeps for
+	// second-round serving. Zero keeps everything. Requests for pruned
+	// snapshots are answered with the oldest retained one, which is
+	// always at least as new and therefore still dependency-satisfying
+	// (LCE is monotone).
+	RetainBatches int
+
+	// Genesis state shared by every replica of the cluster.
+	InitialData   map[string][]byte
+	GenesisHeader protocol.BatchHeader
+	GenesisCert   cryptoutil.Certificate
+}
+
+// ROBehavior injects byzantine behavior into the read-only serving path.
+type ROBehavior struct {
+	// ServeStaleBatch makes the replica always answer read-only requests
+	// from the genesis snapshot (an old-but-consistent snapshot attack;
+	// clients detect it via the freshness timestamp, Sec. 4.4.2).
+	ServeStaleBatch bool
+	// CorruptValues flips served values without fixing proofs; clients
+	// must reject via Merkle verification.
+	CorruptValues bool
+	// CorruptProofs truncates served proofs.
+	CorruptProofs bool
+}
+
+// logEntry is one committed batch as retained by a replica: the header,
+// the consensus certificate, and the full batch for segment serving.
+type logEntry struct {
+	batch  *protocol.Batch
+	header protocol.BatchHeader
+	cert   cryptoutil.Certificate
+}
+
+// distTxn tracks one distributed transaction at this node, in both the
+// coordinator and participant roles.
+type distTxn struct {
+	rec          protocol.PrepareRecord
+	prepareBatch int64 // batch holding our prepare record; -1 until written
+	decision     protocol.Decision
+	votes        []protocol.PreparedVote // evidence for the decision
+
+	// Coordinator-only state.
+	isCoord      bool
+	votesByPart  map[int32]*protocol.PreparedVote
+	replyTo      chan protocol.CommitReply
+	decisionSent bool
+}
+
+// group is a prepare group (Def. 4.1): the distributed transactions whose
+// prepare records share one batch. Groups commit in prepare-batch order.
+type group struct {
+	prepareBatch int64
+	ids          []protocol.TxnID
+}
+
+// parkedRO is a second-round read-only request waiting for a dependency
+// batch to commit.
+type parkedRO struct {
+	req      protocol.RORequest
+	deadline time.Time
+}
+
+// Node is one replica of one cluster.
+type Node struct {
+	cfg  NodeConfig
+	self NodeID
+
+	st      *store.Store
+	curTree *merkle.Tree
+	trees   map[int64]*merkle.Tree
+	log     []*logEntry // index == batch ID; entry 0 is genesis
+
+	consensus *bft.Replica
+
+	// preparedReads/preparedWrites hold the footprints reserved by
+	// prepared-but-undecided distributed transactions (rule 3 of
+	// Def. 3.1), maintained identically by every replica from delivered
+	// batches.
+	preparedReads  keyRefs
+	preparedWrites keyRefs
+	// groups is the prepared-batches structure of Fig. 2, oldest first.
+	groups []*group
+	// distTxns indexes distributed-transaction state by ID.
+	distTxns map[protocol.TxnID]*distTxn
+	// pendingDecisions buffers decisions that arrived before our own
+	// prepare batch was written.
+	pendingDecisions map[protocol.TxnID]*protocol.CommitDecision
+
+	// certCache memoizes batch-header certificate verifications keyed by
+	// header digest: all transactions of one prepare group share the same
+	// proof header, so this collapses O(txns) signature checks per batch
+	// into O(groups).
+	certCache map[protocol.Digest]bool
+
+	// Leader-only pipeline state.
+	pendingLocal    []protocol.Transaction
+	pendingPrepared []protocol.PrepareRecord
+	pendingEvidence map[protocol.TxnID]*protocol.PrepareProof
+	pendingReads    keyRefs // reads reserved by in-progress/in-flight batches
+	pendingWrites   keyRefs // writes reserved by in-progress/in-flight batches
+	waiters         map[protocol.TxnID]chan protocol.CommitReply
+	proposing       bool
+	lastFlush       time.Time
+	// validatedTree caches the tree computed during Validate so delivery
+	// can install it without recomputing.
+	validatedTree    *merkle.Tree
+	validatedBatchID int64
+	// proposalTree/proposalID let the leader skip re-validating its own
+	// proposal (it was derived from the same state moments earlier).
+	proposalTree *merkle.Tree
+	proposalID   int64
+
+	parked []parkedRO
+
+	// oldestSnapshot is the earliest batch still servable after pruning.
+	oldestSnapshot int64
+
+	inbox    <-chan transport.Envelope
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+
+	// Metrics consumed by the harness.
+	Metrics Metrics
+}
+
+// Metrics counts node-level protocol events. Only the event loop writes.
+type Metrics struct {
+	BatchesCommitted   int64
+	LocalCommitted     int64
+	DistCommitted      int64
+	DistAborted        int64
+	AdmissionAborts    int64
+	ROServed           int64
+	ROSecondRound      int64
+	ROParkedExpired    int64
+	DecisionsValidated int64
+}
+
+// NewNode builds (but does not start) a replica.
+func NewNode(cfg NodeConfig) *Node {
+	if cfg.BatchInterval <= 0 {
+		cfg.BatchInterval = time.Millisecond
+	}
+	if cfg.BatchMaxSize <= 0 {
+		cfg.BatchMaxSize = 2000
+	}
+	if cfg.ROParkTimeout <= 0 {
+		cfg.ROParkTimeout = 5 * time.Second
+	}
+	n := &Node{
+		cfg:              cfg,
+		self:             NodeID{Cluster: cfg.Cluster, Replica: cfg.Replica},
+		st:               store.New(),
+		trees:            make(map[int64]*merkle.Tree),
+		preparedReads:    make(keyRefs),
+		preparedWrites:   make(keyRefs),
+		distTxns:         make(map[protocol.TxnID]*distTxn),
+		pendingDecisions: make(map[protocol.TxnID]*protocol.CommitDecision),
+		certCache:        make(map[protocol.Digest]bool),
+		pendingEvidence:  make(map[protocol.TxnID]*protocol.PrepareProof),
+		pendingReads:     make(keyRefs),
+		pendingWrites:    make(keyRefs),
+		waiters:          make(map[protocol.TxnID]chan protocol.CommitReply),
+		stop:             make(chan struct{}),
+		done:             make(chan struct{}),
+	}
+
+	// Install genesis: initial data load as batch 0.
+	n.st.Load(cfg.InitialData)
+	tree := merkle.New()
+	for k, v := range cfg.InitialData {
+		tree = tree.Insert([]byte(k), merkle.HashValue(v))
+	}
+	n.curTree = tree
+	n.trees[0] = tree
+	n.log = append(n.log, &logEntry{
+		batch:  &protocol.Batch{Cluster: cfg.Cluster, ID: 0, CD: cfg.GenesisHeader.CD.Clone(), LCE: cfg.GenesisHeader.LCE, MerkleRoot: cfg.GenesisHeader.MerkleRoot, Timestamp: cfg.GenesisHeader.Timestamp},
+		header: cfg.GenesisHeader,
+		cert:   cfg.GenesisCert,
+	})
+
+	genesisDigest := cfg.GenesisHeader.Digest()
+	n.consensus = bft.New(bft.Config{
+		Cluster:       cfg.Cluster,
+		Replica:       cfg.Replica,
+		N:             cfg.N,
+		F:             cfg.F,
+		Keys:          cfg.Keys,
+		Ring:          cfg.Ring,
+		Net:           cfg.Net,
+		Behavior:      cfg.Behavior,
+		GenesisDigest: genesisDigest,
+		Validate:      n.validateBatch,
+		Deliver:       n.onDeliver,
+	})
+	return n
+}
+
+// Self returns this node's identity.
+func (n *Node) Self() NodeID { return n.self }
+
+// IsLeader reports whether this node leads its cluster.
+func (n *Node) IsLeader() bool { return n.consensus.IsLeader() }
+
+// Start registers the node with the network and launches its event loop.
+func (n *Node) Start() {
+	n.inbox = n.cfg.Net.Register(n.self)
+	n.lastFlush = time.Now()
+	go n.run()
+}
+
+// Stop terminates the event loop and waits for it to exit. Safe to call
+// more than once.
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() { close(n.stop) })
+	<-n.done
+}
+
+func (n *Node) run() {
+	defer close(n.done)
+	ticker := time.NewTicker(n.cfg.BatchInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case env, ok := <-n.inbox:
+			if !ok {
+				return
+			}
+			n.dispatch(env)
+		case <-ticker.C:
+			n.onTick()
+		}
+	}
+}
+
+func (n *Node) dispatch(env transport.Envelope) {
+	if n.consensus.Handle(env.From, env.Payload) {
+		return
+	}
+	switch m := env.Payload.(type) {
+	case *protocol.CommitRequest:
+		n.onCommitRequest(m)
+	case *protocol.ReadRequest:
+		n.onReadRequest(m)
+	case *protocol.RORequest:
+		n.onRORequest(m)
+	case *protocol.CoordinatorPrepare:
+		n.onCoordinatorPrepare(env.From, m)
+	case *protocol.PreparedVote:
+		n.onPreparedVote(env.From, m)
+	case *protocol.CommitDecision:
+		n.onCommitDecision(env.From, m)
+	case *AuditRequest:
+		n.onAuditRequest(m)
+	}
+}
+
+func (n *Node) onTick() {
+	n.expireParked()
+	if n.IsLeader() {
+		n.maybeBuildBatch(false)
+	}
+}
+
+// lastBatchID returns the newest committed batch ID.
+func (n *Node) lastBatchID() int64 { return int64(len(n.log) - 1) }
+
+// leaderOf returns the leader identity of a cluster.
+func leaderOf(cluster int32) NodeID {
+	return NodeID{Cluster: cluster, Replica: bft.LeaderReplica}
+}
+
+// verifyHeaderCert checks an f+1 certificate over a batch header of any
+// cluster, memoized by header digest.
+func (n *Node) verifyHeaderCert(h *protocol.BatchHeader, cert cryptoutil.Certificate) bool {
+	d := h.Digest()
+	if ok, seen := n.certCache[d]; seen {
+		return ok
+	}
+	size := n.cfg.Ring.ClusterSize(h.Cluster)
+	if size == 0 {
+		return false
+	}
+	f := (size - 1) / 3
+	err := cryptoutil.VerifyCertificate(n.cfg.Ring, cert, d[:], f+1)
+	n.certCache[d] = err == nil
+	return err == nil
+}
+
+// ownedKeys filters the keys of a read/write set belonging to this
+// cluster.
+func (n *Node) localReads(t *protocol.Transaction) []protocol.ReadEntry {
+	return t.ReadsFor(n.cfg.Part, n.cfg.Cluster)
+}
+
+func (n *Node) localWrites(t *protocol.Transaction) []protocol.WriteOp {
+	return t.WritesFor(n.cfg.Part, n.cfg.Cluster)
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"transedge/internal/protocol"
+)
+
+// Server side of the snapshot read-only transaction protocol (Sec. 4).
+//
+// Commit-freedom: a single node serves the whole per-partition answer —
+// values, Merkle membership proofs, the certified batch header carrying
+// the Merkle root, the CD vector and the LCE — with no coordination.
+//
+// Non-interference: serving never touches the transaction pipeline; it
+// reads immutable log entries and persistent tree versions, so concurrent
+// read-write transactions are never blocked or aborted by readers.
+
+// onReadRequest serves a single-key committed read for a read-write
+// transaction's read set. Any replica can answer.
+func (n *Node) onReadRequest(m *protocol.ReadRequest) {
+	v, writer, ok := n.st.Get(m.Key)
+	reply := protocol.ReadReply{Key: m.Key, Found: ok}
+	if ok {
+		reply.Value = v
+		reply.Version = writer
+	}
+	select {
+	case m.ReplyTo <- reply:
+	default:
+	}
+}
+
+// onRORequest serves one round of a snapshot read-only transaction.
+// Round one (AsOfLCE < 0) answers from the newest committed batch. Round
+// two asks for the state whose LCE covers an unsatisfied dependency; if
+// that batch has not committed here yet, the request parks until it does
+// (the dependency's group is guaranteed to commit — its 2PC decision is
+// already final).
+func (n *Node) onRORequest(m *protocol.RORequest) {
+	target := n.lastBatchID()
+	if m.AsOfLCE >= 0 {
+		target = n.findBatchWithLCE(m.AsOfLCE)
+		if target < 0 {
+			n.parked = append(n.parked, parkedRO{
+				req:      *m,
+				deadline: time.Now().Add(n.cfg.ROParkTimeout),
+			})
+			return
+		}
+		n.Metrics.ROSecondRound++
+	}
+	if target < n.oldestSnapshot {
+		// The exact snapshot was pruned; the oldest retained one is
+		// newer, so its LCE still covers the requested dependency.
+		target = n.oldestSnapshot
+	}
+	n.serveRO(m, target)
+}
+
+// findBatchWithLCE returns the earliest batch whose LCE is at least p, or
+// -1 if no such batch has committed yet. LCE is monotone over the log, so
+// binary search applies.
+func (n *Node) findBatchWithLCE(p int64) int64 {
+	i := sort.Search(len(n.log), func(i int) bool { return n.log[i].header.LCE >= p })
+	if i == len(n.log) {
+		return -1
+	}
+	return int64(i)
+}
+
+// serveRO answers a read-only request from the snapshot of one batch.
+func (n *Node) serveRO(m *protocol.RORequest, batchID int64) {
+	if n.cfg.ROBehavior.ServeStaleBatch {
+		// Byzantine: an old-but-consistent snapshot. Clients bound this
+		// with the freshness timestamp (Sec. 4.4.2).
+		batchID = 0
+	}
+	if batchID < n.oldestSnapshot {
+		batchID = n.oldestSnapshot
+	}
+	entry := n.log[batchID]
+	tree := n.trees[batchID]
+	reply := protocol.ROReply{
+		Cluster: n.cfg.Cluster,
+		BatchID: batchID,
+		Header:  entry.header,
+		Cert:    entry.cert,
+	}
+	for _, k := range m.Keys {
+		if n.cfg.Part.Of(k) != n.cfg.Cluster {
+			reply.Values = append(reply.Values, protocol.ROValue{Key: k})
+			continue
+		}
+		v, _, ok := n.st.GetAsOf(k, batchID)
+		if !ok {
+			// Absent in this snapshot: prove it.
+			val := protocol.ROValue{Key: k}
+			if ap, err := tree.ProveAbsent([]byte(k)); err == nil {
+				val.Absence = &ap
+			}
+			reply.Values = append(reply.Values, val)
+			continue
+		}
+		proof, _, err := tree.Prove([]byte(k))
+		if err != nil {
+			reply.Values = append(reply.Values, protocol.ROValue{Key: k})
+			continue
+		}
+		if n.cfg.ROBehavior.CorruptValues {
+			v = append(append([]byte(nil), v...), 0xff)
+		}
+		if n.cfg.ROBehavior.CorruptProofs && len(proof.Steps) > 0 {
+			proof.Steps = proof.Steps[:len(proof.Steps)-1]
+		}
+		reply.Values = append(reply.Values, protocol.ROValue{Key: k, Value: v, Found: true, Proof: proof})
+	}
+	n.Metrics.ROServed++
+	select {
+	case m.ReplyTo <- reply:
+	default:
+	}
+}
+
+// serveParked retries parked second-round requests after each delivery.
+func (n *Node) serveParked() {
+	if len(n.parked) == 0 {
+		return
+	}
+	remaining := n.parked[:0]
+	for _, p := range n.parked {
+		target := n.findBatchWithLCE(p.req.AsOfLCE)
+		if target < 0 {
+			remaining = append(remaining, p)
+			continue
+		}
+		n.Metrics.ROSecondRound++
+		req := p.req
+		n.serveRO(&req, target)
+	}
+	n.parked = remaining
+}
+
+// expireParked times out parked requests whose dependency never arrived
+// (e.g. the remote cluster stalled); the client surfaces the error.
+func (n *Node) expireParked() {
+	if len(n.parked) == 0 {
+		return
+	}
+	now := time.Now()
+	remaining := n.parked[:0]
+	for _, p := range n.parked {
+		if now.After(p.deadline) {
+			n.Metrics.ROParkedExpired++
+			select {
+			case p.req.ReplyTo <- protocol.ROReply{Cluster: n.cfg.Cluster, Err: "read-only dependency wait timed out"}:
+			default:
+			}
+			continue
+		}
+		remaining = append(remaining, p)
+	}
+	n.parked = remaining
+}

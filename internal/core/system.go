@@ -1,0 +1,211 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"transedge/internal/bft"
+	"transedge/internal/cryptoutil"
+	"transedge/internal/merkle"
+	"transedge/internal/protocol"
+	"transedge/internal/transport"
+)
+
+// SystemConfig describes a whole TransEdge deployment: a set of clusters
+// (one per partition), each with 3f+1 replicas, connected by a simulated
+// wide-area network.
+type SystemConfig struct {
+	Clusters int // number of partitions / clusters
+	F        int // byzantine faults tolerated per cluster (n = 3f+1)
+	Seed     uint64
+
+	BatchInterval   time.Duration
+	BatchMaxSize    int
+	IntraLatency    time.Duration // replica-to-replica within a cluster
+	InterLatency    time.Duration // cluster-to-cluster and client links
+	FreshnessWindow time.Duration
+	ROParkTimeout   time.Duration
+	RetainBatches   int
+
+	// InitialData is the global initial key space; each cluster loads the
+	// subset the partitioner assigns to it.
+	InitialData map[string][]byte
+
+	// Byzantine assigns consensus-level fault behaviors to nodes.
+	Byzantine map[NodeID]bft.Behavior
+	// ROByzantine assigns read-only-path fault behaviors to nodes.
+	ROByzantine map[NodeID]ROBehavior
+}
+
+func (c *SystemConfig) withDefaults() SystemConfig {
+	out := *c
+	if out.Clusters <= 0 {
+		out.Clusters = 1
+	}
+	if out.F <= 0 {
+		out.F = 1
+	}
+	if out.BatchInterval <= 0 {
+		out.BatchInterval = time.Millisecond
+	}
+	if out.BatchMaxSize <= 0 {
+		out.BatchMaxSize = 2000
+	}
+	if out.ROParkTimeout <= 0 {
+		out.ROParkTimeout = 5 * time.Second
+	}
+	return out
+}
+
+// System is a running TransEdge deployment.
+type System struct {
+	Cfg  SystemConfig
+	Net  *transport.Network
+	Ring *cryptoutil.KeyRing
+	Part protocol.Partitioner
+
+	nodes map[NodeID]*Node
+}
+
+// NewSystem builds all clusters, generates node identities, installs the
+// trusted genesis (the initial data load, certified by every replica of
+// each cluster), and wires the network. Call Start to launch event loops.
+func NewSystem(cfg SystemConfig) *System {
+	cfg = cfg.withDefaults()
+	n := 3*cfg.F + 1
+	part := protocol.Partitioner{N: int32(cfg.Clusters)}
+
+	ring := cryptoutil.NewKeyRing()
+	keys := make(map[NodeID]cryptoutil.KeyPair)
+	for c := 0; c < cfg.Clusters; c++ {
+		for r := 0; r < n; r++ {
+			id := NodeID{Cluster: int32(c), Replica: int32(r)}
+			kp := cryptoutil.DeriveKeyPair(id, cfg.Seed)
+			keys[id] = kp
+			ring.Add(id, kp.Public)
+		}
+	}
+
+	net := transport.NewNetwork()
+	net.SetLatency(transport.ClusterLatency(cfg.IntraLatency, cfg.InterLatency))
+
+	// Split the initial data per cluster.
+	perCluster := make([]map[string][]byte, cfg.Clusters)
+	for c := range perCluster {
+		perCluster[c] = make(map[string][]byte)
+	}
+	for k, v := range cfg.InitialData {
+		perCluster[part.Of(k)][k] = v
+	}
+
+	sys := &System{Cfg: cfg, Net: net, Ring: ring, Part: part, nodes: make(map[NodeID]*Node)}
+	genesisTime := time.Now().UnixNano()
+	for c := 0; c < cfg.Clusters; c++ {
+		header, cert := genesis(int32(c), cfg.Clusters, perCluster[c], genesisTime, keys, n)
+		for r := 0; r < n; r++ {
+			id := NodeID{Cluster: int32(c), Replica: int32(r)}
+			node := NewNode(NodeConfig{
+				Cluster:         int32(c),
+				Replica:         int32(r),
+				Clusters:        cfg.Clusters,
+				N:               n,
+				F:               cfg.F,
+				Keys:            keys[id],
+				Ring:            ring,
+				Net:             net,
+				Part:            part,
+				Behavior:        cfg.Byzantine[id],
+				ROBehavior:      cfg.ROByzantine[id],
+				BatchInterval:   cfg.BatchInterval,
+				BatchMaxSize:    cfg.BatchMaxSize,
+				FreshnessWindow: cfg.FreshnessWindow,
+				ROParkTimeout:   cfg.ROParkTimeout,
+				RetainBatches:   cfg.RetainBatches,
+				InitialData:     perCluster[c],
+				GenesisHeader:   header,
+				GenesisCert:     cert,
+			})
+			sys.nodes[id] = node
+		}
+	}
+	return sys
+}
+
+// genesis builds the certified genesis batch of one cluster: batch 0
+// holding the initial data's Merkle root, an empty-dependency CD vector,
+// and LCE -1, signed by every replica (trusted setup, like the paper's
+// permissioned cluster formation in Sec. 6.1).
+func genesis(cluster int32, clusters int, data map[string][]byte, ts int64,
+	keys map[NodeID]cryptoutil.KeyPair, n int) (protocol.BatchHeader, cryptoutil.Certificate) {
+
+	tree := newTreeFor(data)
+	cd := protocol.NewCDVector(clusters)
+	cd[cluster] = 0
+	b := &protocol.Batch{
+		Cluster:    cluster,
+		ID:         0,
+		Timestamp:  ts,
+		CD:         cd,
+		LCE:        -1,
+		MerkleRoot: tree.Root(),
+	}
+	header := b.Header()
+	d := header.Digest()
+	cert := cryptoutil.Certificate{Cluster: cluster}
+	for r := 0; r < n; r++ {
+		id := NodeID{Cluster: cluster, Replica: int32(r)}
+		cert.Signatures = append(cert.Signatures, cryptoutil.SignCertificate(keys[id], id, d[:]))
+	}
+	return header, cert
+}
+
+// Start launches every replica's event loop.
+func (s *System) Start() {
+	for _, node := range s.nodes {
+		node.Start()
+	}
+}
+
+// Stop shuts down all replicas and the network.
+func (s *System) Stop() {
+	for _, node := range s.nodes {
+		node.Stop()
+	}
+	s.Net.Stop()
+}
+
+// Node returns a replica by identity (nil if absent); used by tests and
+// the harness to read metrics.
+func (s *System) Node(id NodeID) *Node { return s.nodes[id] }
+
+// Leader returns the leader identity of a cluster.
+func (s *System) Leader(cluster int32) NodeID { return leaderOf(cluster) }
+
+// ReplicasPerCluster returns the cluster size.
+func (s *System) ReplicasPerCluster() int { return 3*s.Cfg.F + 1 }
+
+// newTreeFor builds the Merkle tree of an initial data load.
+func newTreeFor(data map[string][]byte) *merkle.Tree {
+	tree := merkle.New()
+	for k, v := range data {
+		tree = tree.Insert([]byte(k), merkle.HashValue(v))
+	}
+	return tree
+}
+
+// NodeMetrics sums one metric across all replicas via the accessor. Node
+// metrics are owned by each event loop; call this after Stop (or treat
+// results as approximate while the system runs).
+func (s *System) NodeMetrics(f func(*Metrics) int64) int64 {
+	var total int64
+	for _, node := range s.nodes {
+		total += f(&node.Metrics)
+	}
+	return total
+}
+
+// String describes the deployment.
+func (s *System) String() string {
+	return fmt.Sprintf("transedge: %d clusters x %d replicas (f=%d)",
+		s.Cfg.Clusters, s.ReplicasPerCluster(), s.Cfg.F)
+}

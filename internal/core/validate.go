@@ -1,0 +1,263 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"transedge/internal/merkle"
+	"transedge/internal/protocol"
+)
+
+// Validation errors (wrapped with context).
+var (
+	ErrBadBatch    = errors.New("core: invalid batch")
+	ErrBadEvidence = errors.New("core: invalid commit evidence")
+	ErrBadSegment  = errors.New("core: read-only segment mismatch")
+)
+
+// validateBatch is the consensus content check: every replica re-derives
+// the batch's effects from its own state before voting, so a byzantine
+// leader cannot certify a batch that violates conflict detection, the
+// ordering constraint, Algorithm 1, or the Merkle root (paper Sec. 3.2:
+// "other replicas ... ensure that the local transactions are in fact
+// allowed to commit using the rules above").
+func (n *Node) validateBatch(b *protocol.Batch) error {
+	// Leader fast path: this is our own freshly-built proposal, already
+	// derived from the very state we would re-check against.
+	if n.IsLeader() && n.proposalTree != nil && n.proposalID == b.ID && n.proposalTree.Root() == b.MerkleRoot {
+		n.validatedTree = n.proposalTree
+		n.validatedBatchID = b.ID
+		return nil
+	}
+
+	if b.Cluster != n.cfg.Cluster {
+		return fmt.Errorf("%w: foreign cluster %d", ErrBadBatch, b.Cluster)
+	}
+	if want := n.lastBatchID() + 1; b.ID != want {
+		return fmt.Errorf("%w: batch ID %d, want %d", ErrBadBatch, b.ID, want)
+	}
+	if len(b.CD) != n.cfg.Clusters {
+		return fmt.Errorf("%w: CD vector has %d entries, want %d", ErrBadSegment, len(b.CD), n.cfg.Clusters)
+	}
+	if w := n.cfg.FreshnessWindow; w > 0 {
+		// Freshness (Sec. 4.4.2): a leader cannot timestamp batches
+		// outside the configured window of the replicas' clocks.
+		skew := time.Duration(time.Now().UnixNano() - b.Timestamp)
+		if skew < 0 {
+			skew = -skew
+		}
+		if skew > w {
+			return fmt.Errorf("%w: timestamp outside freshness window (%v)", ErrBadBatch, skew)
+		}
+	}
+
+	prev := n.log[n.lastBatchID()].header
+
+	// --- Committed segment: ordering constraint + decision evidence ---
+	if len(b.Committed) > 0 {
+		if len(n.groups) == 0 {
+			return fmt.Errorf("%w: committed segment without an open prepare group", ErrBadBatch)
+		}
+		g := n.groups[0]
+		if len(b.Committed) != len(g.ids) {
+			return fmt.Errorf("%w: committed segment has %d records, oldest group has %d",
+				ErrBadBatch, len(b.Committed), len(g.ids))
+		}
+		if b.LCE != g.prepareBatch {
+			return fmt.Errorf("%w: LCE %d, want prepare batch %d", ErrBadSegment, b.LCE, g.prepareBatch)
+		}
+		for i := range b.Committed {
+			rec := &b.Committed[i]
+			if rec.Txn.ID != g.ids[i] {
+				return fmt.Errorf("%w: committed record %d is %v, group expects %v (Def. 4.1 order)",
+					ErrBadBatch, i, rec.Txn.ID, g.ids[i])
+			}
+			dt := n.distTxns[rec.Txn.ID]
+			if dt == nil {
+				return fmt.Errorf("%w: committed record for unknown %v", ErrBadBatch, rec.Txn.ID)
+			}
+			if protocol.TransactionDigest(&rec.Txn) != protocol.TransactionDigest(&dt.rec.Txn) {
+				return fmt.Errorf("%w: committed record content differs from prepared %v", ErrBadBatch, rec.Txn.ID)
+			}
+			if err := n.validateCommitRecord(rec, b.CommitEvidence[rec.Txn.ID]); err != nil {
+				return err
+			}
+		}
+	} else if b.LCE != prev.LCE {
+		return fmt.Errorf("%w: LCE changed to %d without a committed segment", ErrBadSegment, b.LCE)
+	}
+
+	// --- Local and prepared segments: conflict detection (Def. 3.1) ---
+	env := &conflictEnv{
+		lastWriter:     n.st.LastWriter,
+		pendingReads:   make(keyRefs),
+		pendingWrites:  make(keyRefs),
+		preparedReads:  n.preparedReads,
+		preparedWrites: n.preparedWrites,
+	}
+	for i := range b.Local {
+		t := &b.Local[i]
+		if !t.IsLocal() {
+			return fmt.Errorf("%w: distributed txn %v in local segment", ErrBadBatch, t.ID)
+		}
+		for _, r := range t.Reads {
+			if n.cfg.Part.Of(r.Key) != n.cfg.Cluster {
+				return fmt.Errorf("%w: local txn %v reads foreign key %q", ErrBadBatch, t.ID, r.Key)
+			}
+		}
+		for _, w := range t.Writes {
+			if n.cfg.Part.Of(w.Key) != n.cfg.Cluster {
+				return fmt.Errorf("%w: local txn %v writes foreign key %q", ErrBadBatch, t.ID, w.Key)
+			}
+		}
+		if err := env.check(t.Reads, t.Writes); err != nil {
+			return err
+		}
+		env.reserve(t.Reads, t.Writes)
+	}
+	for i := range b.Prepared {
+		rec := &b.Prepared[i]
+		if rec.Txn.IsLocal() {
+			return fmt.Errorf("%w: local txn %v in prepared segment", ErrBadBatch, rec.Txn.ID)
+		}
+		reads, writes := n.localReads(&rec.Txn), n.localWrites(&rec.Txn)
+		if err := env.check(reads, writes); err != nil {
+			return err
+		}
+		env.reserve(reads, writes)
+		if rec.CoordCluster != n.cfg.Cluster {
+			// Authenticity of foreign-coordinated prepares (Sec. 3.3.3:
+			// "each replica ... verifies the authenticity of the prepare
+			// record").
+			ev := b.PrepareEvidence[rec.Txn.ID]
+			if ev == nil {
+				return fmt.Errorf("%w: prepare %v lacks coordinator evidence", ErrBadEvidence, rec.Txn.ID)
+			}
+			if ev.Header.Cluster != rec.CoordCluster || !n.verifyHeaderCert(&ev.Header, ev.Cert) {
+				return fmt.Errorf("%w: prepare %v coordinator proof invalid", ErrBadEvidence, rec.Txn.ID)
+			}
+			if protocol.PreparedSectionDigest(ev.Prepared) != ev.Header.PreparedDigest {
+				return fmt.Errorf("%w: prepare %v evidence segment tampered", ErrBadEvidence, rec.Txn.ID)
+			}
+			found := false
+			for j := range ev.Prepared {
+				if ev.Prepared[j].Txn.ID == rec.Txn.ID {
+					if protocol.TransactionDigest(&ev.Prepared[j].Txn) != protocol.TransactionDigest(&rec.Txn) {
+						return fmt.Errorf("%w: prepare %v content differs from coordinator's", ErrBadEvidence, rec.Txn.ID)
+					}
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("%w: prepare %v not in coordinator evidence", ErrBadEvidence, rec.Txn.ID)
+			}
+		}
+	}
+
+	// --- Read-only segment: Algorithm 1 and the Merkle root ---
+	wantCD := n.deriveCD(b)
+	for i, x := range wantCD {
+		if b.CD[i] != x {
+			return fmt.Errorf("%w: CD vector %v, want %v", ErrBadSegment, b.CD, wantCD)
+		}
+	}
+	tree := n.applyBatchToTree(n.curTree, b)
+	if tree.Root() != b.MerkleRoot {
+		return fmt.Errorf("%w: merkle root mismatch", ErrBadSegment)
+	}
+	n.validatedTree = tree
+	n.validatedBatchID = b.ID
+	return nil
+}
+
+// validateCommitRecord checks one committed-segment record against its
+// vote evidence: a commit needs a verified positive vote from every
+// accessed partition, and the declared ReportedCDs must be exactly the CD
+// vectors of those votes' prepare-batch headers (which Algorithm 1 then
+// folds into the batch CD vector).
+func (n *Node) validateCommitRecord(rec *protocol.CommitRecord, votes []protocol.PreparedVote) error {
+	if rec.Decision == protocol.DecisionAbort {
+		if len(rec.ReportedCDs) != 0 {
+			return fmt.Errorf("%w: aborted %v declares dependencies", ErrBadEvidence, rec.Txn.ID)
+		}
+		for i := range votes {
+			if votes[i].Vote == protocol.DecisionAbort {
+				return nil
+			}
+		}
+		return fmt.Errorf("%w: abort of %v without an abort vote", ErrBadEvidence, rec.Txn.ID)
+	}
+	if !n.justified(rec.Decision, votes, &rec.Txn) {
+		return fmt.Errorf("%w: commit of %v not justified by votes", ErrBadEvidence, rec.Txn.ID)
+	}
+	if len(rec.ReportedCDs) != len(votes) {
+		return fmt.Errorf("%w: %v reports %d CDs for %d votes", ErrBadEvidence, rec.Txn.ID, len(rec.ReportedCDs), len(votes))
+	}
+	for i := range votes {
+		want := votes[i].Proof.Header.CD
+		got := rec.ReportedCDs[i]
+		if len(want) != len(got) {
+			return fmt.Errorf("%w: %v reported CD %d length mismatch", ErrBadEvidence, rec.Txn.ID, i)
+		}
+		for j := range want {
+			if want[j] != got[j] {
+				return fmt.Errorf("%w: %v reported CD %d differs from vote header", ErrBadEvidence, rec.Txn.ID, i)
+			}
+		}
+	}
+	return nil
+}
+
+// justified reports whether a decision is supported by the votes; shared
+// by participant leaders (onCommitDecision) and batch validation.
+func (n *Node) justified(decision protocol.Decision, votes []protocol.PreparedVote, txn *protocol.Transaction) bool {
+	if decision == protocol.DecisionAbort {
+		for i := range votes {
+			if votes[i].Vote == protocol.DecisionAbort {
+				return true
+			}
+		}
+		return false
+	}
+	byPart := make(map[int32]*protocol.PreparedVote, len(votes))
+	for i := range votes {
+		byPart[votes[i].FromCluster] = &votes[i]
+	}
+	for _, part := range txn.Partitions {
+		v := byPart[part]
+		if v == nil || v.Vote != protocol.DecisionCommit || v.TxnID != txn.ID {
+			return false
+		}
+		if part == n.cfg.Cluster {
+			continue // our own prepare group is local ground truth
+		}
+		if !n.validVote(v, txn) {
+			return false
+		}
+	}
+	return true
+}
+
+// applyBatchToTree returns the Merkle tree version after this batch: the
+// previous version plus the write sets of local transactions and of
+// committed (positively decided) distributed transactions on this shard.
+func (n *Node) applyBatchToTree(tree *merkle.Tree, b *protocol.Batch) *merkle.Tree {
+	out := tree
+	for i := range b.Local {
+		for _, w := range b.Local[i].Writes {
+			out = out.Insert([]byte(w.Key), merkle.HashValue(w.Value))
+		}
+	}
+	for i := range b.Committed {
+		rec := &b.Committed[i]
+		if rec.Decision != protocol.DecisionCommit {
+			continue
+		}
+		for _, w := range n.localWrites(&rec.Txn) {
+			out = out.Insert([]byte(w.Key), merkle.HashValue(w.Value))
+		}
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// tinyScale keeps harness tests fast.
+var tinyScale = Scale{
+	Keys:        1500,
+	Duration:    150 * time.Millisecond,
+	LatencyUnit: 20 * time.Microsecond,
+	ROWorkers:   2,
+	RWWorkers:   2,
+	BatchSizes:  []int{900},
+	ScanSizes:   []int{100},
+	LatenciesMS: []int{0, 20},
+}
+
+func TestRunTransEdgeProducesTraffic(t *testing.T) {
+	cfg := tinyScale.base()
+	cfg.Protocol = TransEdge
+	cfg.Clusters = 3
+	r := Run(cfg)
+	if r.RO.Count == 0 {
+		t.Fatal("no read-only transactions completed")
+	}
+	if r.RW.Count == 0 {
+		t.Fatal("no read-write transactions committed")
+	}
+	if r.RO.Mean <= 0 || r.RO.Throughput <= 0 {
+		t.Fatalf("degenerate RO stats: %+v", r.RO)
+	}
+	if r.RO.P99 < r.RO.P50 {
+		t.Fatalf("P99 (%v) < P50 (%v)", r.RO.P99, r.RO.P50)
+	}
+}
+
+func TestRunTwoPCBFTProducesTraffic(t *testing.T) {
+	cfg := tinyScale.base()
+	cfg.Protocol = TwoPCBFT
+	cfg.Clusters = 3
+	r := Run(cfg)
+	if r.RO.Count == 0 || r.RW.Count == 0 {
+		t.Fatalf("no traffic: RO=%d RW=%d", r.RO.Count, r.RW.Count)
+	}
+}
+
+func TestRunAugustusProducesTraffic(t *testing.T) {
+	cfg := tinyScale.base()
+	cfg.Protocol = Augustus
+	cfg.Clusters = 3
+	r := Run(cfg)
+	if r.RO.Count == 0 || r.RW.Count == 0 {
+		t.Fatalf("no traffic: RO=%d RW=%d", r.RO.Count, r.RW.Count)
+	}
+}
+
+// TestReadOnlySpeedupShape asserts the paper's central comparison: a
+// TransEdge snapshot read across multiple clusters is substantially
+// faster than the same read executed as a 2PC/BFT transaction.
+func TestReadOnlySpeedupShape(t *testing.T) {
+	te := tinyScale.base()
+	te.Protocol = TransEdge
+	te.ROClusters = 3
+	te.Clusters = 3
+	te.RWWorkers = 0
+	rTE := Run(te)
+
+	bl := te
+	bl.Protocol = TwoPCBFT
+	rBL := Run(bl)
+
+	if rTE.RO.Count == 0 || rBL.RO.Count == 0 {
+		t.Fatalf("no samples: TE=%d BL=%d", rTE.RO.Count, rBL.RO.Count)
+	}
+	if rTE.RO.Mean*2 >= rBL.RO.Mean {
+		t.Fatalf("expected >=2x RO speedup, got TransEdge %v vs 2PC/BFT %v",
+			rTE.RO.Mean, rBL.RO.Mean)
+	}
+	t.Logf("RO latency: TransEdge %v vs 2PC/BFT %v (%.1fx)",
+		rTE.RO.Mean, rBL.RO.Mean, float64(rBL.RO.Mean)/float64(rTE.RO.Mean))
+}
+
+func TestStatsPercentilesMonotone(t *testing.T) {
+	var c collector
+	for i := 1; i <= 100; i++ {
+		c.add(time.Duration(i)*time.Millisecond, 1)
+	}
+	s := c.stats(time.Second)
+	if s.Count != 100 {
+		t.Fatalf("Count = %d", s.Count)
+	}
+	if !(s.P50 <= s.P95 && s.P95 <= s.P99) {
+		t.Fatalf("percentiles not monotone: %v %v %v", s.P50, s.P95, s.P99)
+	}
+	if s.Throughput != 100 {
+		t.Fatalf("Throughput = %v, want 100", s.Throughput)
+	}
+}
+
+func TestAbortPct(t *testing.T) {
+	s := Stats{Count: 90, Aborts: 10}
+	if got := s.AbortPct(); got != 10 {
+		t.Fatalf("AbortPct = %v, want 10", got)
+	}
+	if (Stats{}).AbortPct() != 0 {
+		t.Fatal("empty stats AbortPct != 0")
+	}
+}
+
+func TestFig4SmokeShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	pts := Fig4(tinyScale)
+	if len(pts) != 10 {
+		t.Fatalf("Fig4 produced %d points, want 10", len(pts))
+	}
+	series := map[string]int{}
+	for _, p := range pts {
+		series[p.Series]++
+		if p.LatencyMS <= 0 {
+			t.Fatalf("point %+v has no latency", p)
+		}
+	}
+	if series[string(TransEdge)] != 5 || series[string(TwoPCBFT)] != 5 {
+		t.Fatalf("series malformed: %v", series)
+	}
+}
+
+func TestTable1SmokeShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	pts := Table1(Scale{
+		Keys: 1200, Duration: 200 * time.Millisecond, LatencyUnit: 20 * time.Microsecond,
+		ROWorkers: 2, RWWorkers: 2, BatchSizes: []int{900},
+	})
+	// TransEdge's number is the abort-rate *delta* between two separate
+	// short runs, so it carries sampling noise; the structural zero is
+	// asserted by TestReadOnlyNeverInterferesWithWriters in core. The
+	// table's shape claim is relative: TransEdge interference must stay
+	// far below Augustus's lock interference in aggregate.
+	var te, aug float64
+	for _, p := range pts {
+		switch p.Series {
+		case "TransEdge":
+			te += p.AbortPct
+		case "Augustus":
+			aug += p.AbortPct
+		}
+	}
+	if aug <= 0 {
+		t.Fatal("Augustus showed no lock interference; workload too light")
+	}
+	if te >= aug/2 {
+		t.Fatalf("TransEdge interference (sum %.2f%%) not clearly below Augustus (sum %.2f%%)", te, aug)
+	}
+}

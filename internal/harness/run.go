@@ -1,0 +1,448 @@
+// Package harness drives the paper's evaluation (Sec. 5): it builds a
+// deployment of the chosen protocol, applies the YCSB-style workload, and
+// measures the latency/throughput/abort statistics that every figure and
+// table reports. Both bench_test.go and cmd/transedge-bench are thin
+// layers over this package.
+package harness
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"transedge/internal/baseline/augustus"
+	"transedge/internal/baseline/twopcbft"
+	"transedge/internal/client"
+	"transedge/internal/core"
+	"transedge/internal/protocol"
+	"transedge/internal/workload"
+)
+
+// Protocol selects the system under test.
+type Protocol string
+
+// The three systems of the evaluation.
+const (
+	TransEdge Protocol = "TransEdge"
+	TwoPCBFT  Protocol = "2PC/BFT"
+	Augustus  Protocol = "Augustus"
+)
+
+// NoOps marks an operation count as explicitly zero (the zero value of
+// ReadOps/WriteOps selects the paper's defaults instead).
+const NoOps = -1
+
+// Config describes one experiment point.
+type Config struct {
+	Protocol Protocol
+	Clusters int
+	F        int
+
+	Keys      int
+	ValueSize int
+
+	BatchInterval time.Duration
+	BatchMaxSize  int
+	IntraLatency  time.Duration
+	InterLatency  time.Duration
+
+	// Worker counts (the paper uses 2 clients x 10 threads).
+	ROWorkers int
+	RWWorkers int
+
+	// Workload shape. Zero means the paper default (5 reads, 3 writes);
+	// NoOps requests explicitly none.
+	ReadOps       int
+	WriteOps      int
+	LocalFraction float64
+	ROClusters    int
+	ROPerCluster  int
+	// ROScanSize > 0 switches read-only workers to long scans of that
+	// many keys (Fig. 7).
+	ROScanSize int
+
+	Duration time.Duration
+	Seed     int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Protocol == "" {
+		c.Protocol = TransEdge
+	}
+	if c.Clusters <= 0 {
+		c.Clusters = 5
+	}
+	if c.F <= 0 {
+		c.F = 1
+	}
+	if c.Keys <= 0 {
+		c.Keys = 5000
+	}
+	if c.ValueSize <= 0 {
+		c.ValueSize = 256
+	}
+	if c.BatchInterval <= 0 {
+		c.BatchInterval = time.Millisecond
+	}
+	if c.BatchMaxSize <= 0 {
+		c.BatchMaxSize = 2000
+	}
+	// 0 means "paper default"; NoOps (-1) means explicitly none.
+	if c.ReadOps == 0 {
+		c.ReadOps = 5
+	} else if c.ReadOps < 0 {
+		c.ReadOps = 0
+	}
+	if c.WriteOps == 0 {
+		c.WriteOps = 3
+	} else if c.WriteOps < 0 {
+		c.WriteOps = 0
+	}
+	if c.ROClusters <= 0 {
+		c.ROClusters = c.Clusters
+	}
+	if c.ROPerCluster <= 0 {
+		c.ROPerCluster = 1
+	}
+	if c.Duration <= 0 {
+		c.Duration = 500 * time.Millisecond
+	}
+	return c
+}
+
+// Stats summarizes one transaction class.
+type Stats struct {
+	Count      int64
+	Aborts     int64
+	Mean       time.Duration
+	P50        time.Duration
+	P95        time.Duration
+	P99        time.Duration
+	Throughput float64 // committed txns per second
+}
+
+// AbortPct returns aborted / attempted in percent.
+func (s Stats) AbortPct() float64 {
+	total := s.Count + s.Aborts
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(s.Aborts) / float64(total)
+}
+
+// Result is one experiment point's measurements.
+type Result struct {
+	RO Stats
+	RW Stats
+
+	// Round-split metrics for TransEdge read-only transactions (Fig. 5):
+	// Round1Mean is the mean latency of single-round transactions;
+	// Round2Extra is the mean additional latency of transactions that
+	// needed repair rounds; Round2Frac is the fraction that did.
+	Round1Mean  time.Duration
+	Round2Extra time.Duration
+	Round2Frac  float64
+
+	// LockAborts counts writer aborts caused by read locks (Augustus,
+	// Table 1).
+	LockAborts int64
+}
+
+// collector accumulates latencies per worker without contention.
+type collector struct {
+	mu        sync.Mutex
+	latencies []time.Duration
+	aborts    int64
+	round1    []time.Duration
+	round2    []time.Duration
+}
+
+func (c *collector) add(d time.Duration, rounds int) {
+	c.mu.Lock()
+	c.latencies = append(c.latencies, d)
+	switch rounds {
+	case 1:
+		c.round1 = append(c.round1, d)
+	case 0:
+	default:
+		c.round2 = append(c.round2, d)
+	}
+	c.mu.Unlock()
+}
+
+func (c *collector) abort() { atomic.AddInt64(&c.aborts, 1) }
+
+func (c *collector) stats(window time.Duration) Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Stats{Count: int64(len(c.latencies)), Aborts: atomic.LoadInt64(&c.aborts)}
+	if len(c.latencies) == 0 {
+		return s
+	}
+	sorted := append([]time.Duration(nil), c.latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	s.Mean = sum / time.Duration(len(sorted))
+	s.P50 = sorted[len(sorted)*50/100]
+	s.P95 = sorted[len(sorted)*95/100]
+	s.P99 = sorted[len(sorted)*99/100]
+	s.Throughput = float64(len(sorted)) / window.Seconds()
+	return s
+}
+
+func mean(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	return sum / time.Duration(len(ds))
+}
+
+// Run executes one experiment point and returns its measurements.
+func Run(cfg Config) Result {
+	cfg = cfg.withDefaults()
+	switch cfg.Protocol {
+	case Augustus:
+		return runAugustus(cfg)
+	default:
+		return runTransEdgeLike(cfg)
+	}
+}
+
+// runTransEdgeLike measures TransEdge or the 2PC/BFT baseline (identical
+// deployment; the read-only path differs).
+func runTransEdgeLike(cfg Config) Result {
+	gen := workload.New(workload.Config{
+		Keys: cfg.Keys, ValueSize: cfg.ValueSize, Clusters: cfg.Clusters, Seed: cfg.Seed,
+	})
+	sys := core.NewSystem(core.SystemConfig{
+		Clusters:      cfg.Clusters,
+		F:             cfg.F,
+		Seed:          uint64(cfg.Seed),
+		BatchInterval: cfg.BatchInterval,
+		BatchMaxSize:  cfg.BatchMaxSize,
+		IntraLatency:  cfg.IntraLatency,
+		InterLatency:  cfg.InterLatency,
+		InitialData:   gen.InitialData(),
+	})
+	sys.Start()
+	defer sys.Stop()
+
+	newClient := func(id uint32) *client.Client {
+		return client.New(client.Config{
+			ID: id, Net: sys.Net, Ring: sys.Ring, Part: sys.Part,
+			Clusters: cfg.Clusters, Timeout: 30 * time.Second, Seed: cfg.Seed,
+		})
+	}
+
+	var (
+		roCol, rwCol collector
+		stop         atomic.Bool
+		wg           sync.WaitGroup
+	)
+
+	// Read-only workers.
+	for w := 0; w < cfg.ROWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := newClient(uint32(100 + w))
+			var ro2pc *twopcbft.Client
+			if cfg.Protocol == TwoPCBFT {
+				ro2pc = twopcbft.New(c)
+			}
+			g := workload.New(workload.Config{
+				Keys: cfg.Keys, ValueSize: cfg.ValueSize, Clusters: cfg.Clusters,
+				Seed: cfg.Seed + int64(w)*31, ROClusters: cfg.ROClusters, ROPerCluster: cfg.ROPerCluster,
+			})
+			for !stop.Load() {
+				keys := g.NextRO()
+				if cfg.ROScanSize > 0 {
+					keys = g.NextROScan(cfg.ROScanSize)
+				}
+				start := time.Now()
+				if ro2pc != nil {
+					res, err := ro2pc.ReadOnly(keys)
+					if err != nil {
+						return
+					}
+					if res.Aborted {
+						roCol.abort()
+						continue
+					}
+					roCol.add(time.Since(start), 0)
+				} else {
+					res, err := c.ReadOnly(keys)
+					if err != nil {
+						if stop.Load() {
+							return
+						}
+						roCol.abort()
+						continue
+					}
+					roCol.add(time.Since(start), res.Rounds)
+				}
+			}
+		}(w)
+	}
+
+	// Read-write workers.
+	for w := 0; w < cfg.RWWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := newClient(uint32(200 + w))
+			g := workload.New(workload.Config{
+				Keys: cfg.Keys, ValueSize: cfg.ValueSize, Clusters: cfg.Clusters,
+				Seed: cfg.Seed + int64(w)*17, ReadOps: asWorkloadOps(cfg.ReadOps),
+				WriteOps:      asWorkloadOps(cfg.WriteOps),
+				LocalFraction: cfg.LocalFraction,
+			})
+			for !stop.Load() {
+				spec := g.NextRW()
+				start := time.Now()
+				txn := c.Begin()
+				ok := true
+				for _, k := range spec.ReadKeys {
+					if _, err := txn.Read(k); err != nil {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				for _, k := range spec.WriteKeys {
+					txn.Write(k, spec.Value)
+				}
+				if err := txn.Commit(); err != nil {
+					if errors.Is(err, client.ErrAborted) {
+						rwCol.abort()
+					}
+					continue
+				}
+				rwCol.add(time.Since(start), 0)
+			}
+		}(w)
+	}
+
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	wg.Wait()
+
+	res := Result{
+		RO: roCol.stats(cfg.Duration),
+		RW: rwCol.stats(cfg.Duration),
+	}
+	res.Round1Mean = mean(roCol.round1)
+	if n := len(roCol.round2); n > 0 {
+		res.Round2Frac = float64(n) / float64(len(roCol.round1)+n)
+		if extra := mean(roCol.round2) - res.Round1Mean; extra > 0 {
+			res.Round2Extra = extra
+		}
+	}
+	return res
+}
+
+// runAugustus measures the lock-based baseline.
+func runAugustus(cfg Config) Result {
+	gen := workload.New(workload.Config{
+		Keys: cfg.Keys, ValueSize: cfg.ValueSize, Clusters: cfg.Clusters, Seed: cfg.Seed,
+	})
+	sys := augustus.NewSystem(augustus.SystemConfig{
+		Clusters:     cfg.Clusters,
+		F:            cfg.F,
+		IntraLatency: cfg.IntraLatency,
+		InterLatency: cfg.InterLatency,
+		InitialData:  gen.InitialData(),
+	})
+	sys.Start()
+	defer sys.Stop()
+
+	var (
+		roCol, rwCol collector
+		stop         atomic.Bool
+		wg           sync.WaitGroup
+	)
+	for w := 0; w < cfg.ROWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := sys.NewClient(uint32(100 + w))
+			g := workload.New(workload.Config{
+				Keys: cfg.Keys, ValueSize: cfg.ValueSize, Clusters: cfg.Clusters,
+				Seed: cfg.Seed + int64(w)*31, ROClusters: cfg.ROClusters, ROPerCluster: cfg.ROPerCluster,
+			})
+			for !stop.Load() {
+				keys := g.NextRO()
+				if cfg.ROScanSize > 0 {
+					keys = g.NextROScan(cfg.ROScanSize)
+				}
+				start := time.Now()
+				if _, err := c.ReadOnly(keys); err != nil {
+					if stop.Load() {
+						return
+					}
+					roCol.abort()
+					continue
+				}
+				roCol.add(time.Since(start), 0)
+			}
+		}(w)
+	}
+	for w := 0; w < cfg.RWWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := sys.NewClient(uint32(200 + w))
+			g := workload.New(workload.Config{
+				Keys: cfg.Keys, ValueSize: cfg.ValueSize, Clusters: cfg.Clusters,
+				Seed: cfg.Seed + int64(w)*17, ReadOps: asWorkloadOps(cfg.ReadOps),
+				WriteOps:      asWorkloadOps(cfg.WriteOps),
+				LocalFraction: cfg.LocalFraction,
+			})
+			for !stop.Load() {
+				spec := g.NextRW()
+				writes := make([]protocol.WriteOp, len(spec.WriteKeys))
+				for i, k := range spec.WriteKeys {
+					writes[i] = protocol.WriteOp{Key: k, Value: spec.Value}
+				}
+				start := time.Now()
+				if err := c.Execute(spec.ReadKeys, writes); err != nil {
+					if errors.Is(err, augustus.ErrAborted) {
+						rwCol.abort()
+					}
+					continue
+				}
+				rwCol.add(time.Since(start), 0)
+			}
+		}(w)
+	}
+
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	wg.Wait()
+
+	return Result{
+		RO:         roCol.stats(cfg.Duration),
+		RW:         rwCol.stats(cfg.Duration),
+		LockAborts: sys.RWLockAborts(),
+	}
+}
+
+// asWorkloadOps converts a resolved op count (0 = explicitly none) into
+// the workload package's convention (0 = default, NoOps = none).
+func asWorkloadOps(n int) int {
+	if n == 0 {
+		return workload.NoOps
+	}
+	return n
+}

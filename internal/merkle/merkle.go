@@ -1,0 +1,359 @@
+// Package merkle implements the Authenticated Data Structure (ADS) at the
+// heart of TransEdge's trusted read path (paper Sec. 4.1, [38]).
+//
+// The tree is a persistent (copy-on-write) crit-bit Merkle trie keyed by
+// the SHA-256 hash of the application key. Persistence gives TransEdge two
+// properties it needs:
+//
+//   - every committed batch has its own immutable tree version whose root
+//     is certified by f+1 replica signatures, and
+//   - historical versions stay available so the second round of the
+//     read-only protocol can serve (and prove) the state "as of batch i"
+//     long after later batches committed.
+//
+// The root is a pure function of the key/value mapping — independent of
+// insertion order — which is what allows every replica of a cluster to
+// recompute and certify the same root without a trusted party.
+package merkle
+
+import (
+	"errors"
+	"fmt"
+
+	"transedge/internal/cryptoutil"
+)
+
+// Digest aliases the system-wide SHA-256 digest type.
+type Digest = cryptoutil.Digest
+
+const (
+	leafTag  = 0x00
+	innerTag = 0x01
+	numBits  = 256 // keys are SHA-256 hashes
+)
+
+// node is either a leaf (bit == -1) or an inner node splitting at a
+// crit-bit index. Nodes are immutable after construction.
+type node struct {
+	bit     int16 // crit-bit index; -1 marks a leaf
+	hash    Digest
+	left    *node  // inner only: subtree with bit == 0
+	right   *node  // inner only: subtree with bit == 1
+	keyHash Digest // leaf only
+	valHash Digest // leaf only
+}
+
+func bitAt(d Digest, i int) byte {
+	return (d[i>>3] >> (7 - uint(i&7))) & 1
+}
+
+// firstDiffBit returns the index of the most significant bit at which a
+// and b differ. The caller guarantees a != b.
+func firstDiffBit(a, b Digest) int {
+	for i := 0; i < len(a); i++ {
+		if x := a[i] ^ b[i]; x != 0 {
+			bit := 0
+			for x&0x80 == 0 {
+				x <<= 1
+				bit++
+			}
+			return i*8 + bit
+		}
+	}
+	panic("merkle: firstDiffBit called with equal digests")
+}
+
+func leafHash(keyHash, valHash Digest) Digest {
+	return cryptoutil.HashConcat([]byte{leafTag}, keyHash[:], valHash[:])
+}
+
+func innerHash(bit int16, left, right Digest) Digest {
+	return cryptoutil.HashConcat([]byte{innerTag, byte(bit >> 8), byte(bit)}, left[:], right[:])
+}
+
+func newLeaf(keyHash, valHash Digest) *node {
+	return &node{bit: -1, hash: leafHash(keyHash, valHash), keyHash: keyHash, valHash: valHash}
+}
+
+func newInner(bit int16, left, right *node) *node {
+	return &node{bit: bit, hash: innerHash(bit, left.hash, right.hash), left: left, right: right}
+}
+
+// Tree is an immutable Merkle trie version. The zero value is not usable;
+// call New. All update operations return a new version sharing structure
+// with the receiver.
+type Tree struct {
+	root *node
+	size int
+}
+
+// New returns an empty tree.
+func New() *Tree { return &Tree{} }
+
+// Len returns the number of keys in this version.
+func (t *Tree) Len() int { return t.size }
+
+// EmptyRoot is the root digest of an empty tree.
+var EmptyRoot = cryptoutil.Hash([]byte("transedge-merkle-empty"))
+
+// Root returns the authenticated root digest of this version.
+func (t *Tree) Root() Digest {
+	if t.root == nil {
+		return EmptyRoot
+	}
+	return t.root.hash
+}
+
+// HashKey maps an application key to its trie position.
+func HashKey(key []byte) Digest { return cryptoutil.Hash(key) }
+
+// HashValue maps a value to the leaf value digest.
+func HashValue(value []byte) Digest { return cryptoutil.Hash(value) }
+
+// Insert returns a new version with key bound to valHash.
+func (t *Tree) Insert(key []byte, valHash Digest) *Tree {
+	return t.InsertHashed(HashKey(key), valHash)
+}
+
+// InsertHashed is Insert for a pre-hashed key.
+func (t *Tree) InsertHashed(keyHash, valHash Digest) *Tree {
+	if t.root == nil {
+		return &Tree{root: newLeaf(keyHash, valHash), size: 1}
+	}
+	leaf := findLeaf(t.root, keyHash)
+	if leaf.keyHash == keyHash {
+		return &Tree{root: replace(t.root, keyHash, valHash), size: t.size}
+	}
+	crit := int16(firstDiffBit(leaf.keyHash, keyHash))
+	return &Tree{root: insertAt(t.root, crit, keyHash, valHash), size: t.size + 1}
+}
+
+// findLeaf walks to the leaf whose position keyHash's bits select.
+func findLeaf(n *node, keyHash Digest) *node {
+	for n.bit >= 0 {
+		if bitAt(keyHash, int(n.bit)) == 0 {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n
+}
+
+// replace copies the path to the existing leaf for keyHash and swaps in a
+// new value hash.
+func replace(n *node, keyHash, valHash Digest) *node {
+	if n.bit < 0 {
+		return newLeaf(keyHash, valHash)
+	}
+	if bitAt(keyHash, int(n.bit)) == 0 {
+		return newInner(n.bit, replace(n.left, keyHash, valHash), n.right)
+	}
+	return newInner(n.bit, n.left, replace(n.right, keyHash, valHash))
+}
+
+// insertAt inserts a new leaf for keyHash, creating the split node at the
+// crit-bit position.
+func insertAt(n *node, crit int16, keyHash, valHash Digest) *node {
+	if n.bit < 0 || n.bit > crit {
+		nl := newLeaf(keyHash, valHash)
+		if bitAt(keyHash, int(crit)) == 0 {
+			return newInner(crit, nl, n)
+		}
+		return newInner(crit, n, nl)
+	}
+	if bitAt(keyHash, int(n.bit)) == 0 {
+		return newInner(n.bit, insertAt(n.left, crit, keyHash, valHash), n.right)
+	}
+	return newInner(n.bit, n.left, insertAt(n.right, crit, keyHash, valHash))
+}
+
+// Apply returns a new version with every update applied. Updates with the
+// same key keep the last value.
+func (t *Tree) Apply(updates map[string]Digest) *Tree {
+	out := t
+	for k, vh := range updates {
+		out = out.Insert([]byte(k), vh)
+	}
+	return out
+}
+
+// Get returns the value hash bound to key in this version.
+func (t *Tree) Get(key []byte) (Digest, bool) {
+	if t.root == nil {
+		return Digest{}, false
+	}
+	kh := HashKey(key)
+	leaf := findLeaf(t.root, kh)
+	if leaf.keyHash != kh {
+		return Digest{}, false
+	}
+	return leaf.valHash, true
+}
+
+// ProofStep is one level of a membership proof: the crit-bit index of the
+// inner node and the hash of the sibling subtree not on the lookup path.
+type ProofStep struct {
+	Bit     int16
+	Sibling Digest
+}
+
+// Proof is a membership proof for one key in one tree version, ordered
+// from the root down to the leaf's parent.
+type Proof struct {
+	Steps []ProofStep
+}
+
+// Errors returned by proving and verification.
+var (
+	ErrNotFound   = errors.New("merkle: key not present in this version")
+	ErrBadProof   = errors.New("merkle: proof does not verify")
+	ErrProofShape = errors.New("merkle: malformed proof")
+)
+
+// Prove produces a membership proof that key -> valHash in this version.
+// The returned value hash is the one bound in the tree.
+func (t *Tree) Prove(key []byte) (Proof, Digest, error) {
+	if t.root == nil {
+		return Proof{}, Digest{}, ErrNotFound
+	}
+	kh := HashKey(key)
+	var steps []ProofStep
+	n := t.root
+	for n.bit >= 0 {
+		if bitAt(kh, int(n.bit)) == 0 {
+			steps = append(steps, ProofStep{Bit: n.bit, Sibling: n.right.hash})
+			n = n.left
+		} else {
+			steps = append(steps, ProofStep{Bit: n.bit, Sibling: n.left.hash})
+			n = n.right
+		}
+	}
+	if n.keyHash != kh {
+		return Proof{}, Digest{}, ErrNotFound
+	}
+	return Proof{Steps: steps}, n.valHash, nil
+}
+
+// VerifyProof checks that proof authenticates key -> value under root.
+// It recomputes the leaf hash from the raw key and value, folds the proof
+// steps back to a root digest, and enforces the structural invariants of
+// the crit-bit trie (strictly increasing bit indices, directions matching
+// the key's bits) so a malicious server cannot splice subtrees.
+func VerifyProof(root Digest, key, value []byte, proof Proof) error {
+	kh := HashKey(key)
+	h := leafHash(kh, HashValue(value))
+	// Fold from the leaf upward: iterate steps in reverse.
+	lastBit := int16(numBits)
+	for i := len(proof.Steps) - 1; i >= 0; i-- {
+		s := proof.Steps[i]
+		if s.Bit < 0 || s.Bit >= numBits {
+			return fmt.Errorf("%w: bit index %d out of range", ErrProofShape, s.Bit)
+		}
+		if s.Bit >= lastBit {
+			return fmt.Errorf("%w: bit indices not strictly increasing root-to-leaf", ErrProofShape)
+		}
+		lastBit = s.Bit
+		if bitAt(kh, int(s.Bit)) == 0 {
+			h = innerHash(s.Bit, h, s.Sibling)
+		} else {
+			h = innerHash(s.Bit, s.Sibling, h)
+		}
+	}
+	if h != root {
+		return ErrBadProof
+	}
+	return nil
+}
+
+// AbsenceProof proves a key is NOT bound in a tree version. In a crit-bit
+// trie the structure is canonical for a given content set, so the lookup
+// path for any key is forced by the certified root: the proof exhibits
+// the leaf that the key's bits lead to (which would have to BE the key's
+// leaf if the key were present) together with its path. A verifier checks
+// the path shape, that every direction matches the requested key's bits,
+// and that the terminal leaf holds a different key hash.
+type AbsenceProof struct {
+	Steps       []ProofStep
+	LeafKeyHash Digest
+	LeafValHash Digest
+}
+
+// ErrPresent is returned when asked to prove absence of a present key.
+var ErrPresent = errors.New("merkle: key is present")
+
+// ProveAbsent produces a non-membership proof for key.
+func (t *Tree) ProveAbsent(key []byte) (AbsenceProof, error) {
+	kh := HashKey(key)
+	if t.root == nil {
+		// The empty tree's well-known root is itself the proof.
+		return AbsenceProof{}, nil
+	}
+	var steps []ProofStep
+	n := t.root
+	for n.bit >= 0 {
+		if bitAt(kh, int(n.bit)) == 0 {
+			steps = append(steps, ProofStep{Bit: n.bit, Sibling: n.right.hash})
+			n = n.left
+		} else {
+			steps = append(steps, ProofStep{Bit: n.bit, Sibling: n.left.hash})
+			n = n.right
+		}
+	}
+	if n.keyHash == kh {
+		return AbsenceProof{}, ErrPresent
+	}
+	return AbsenceProof{Steps: steps, LeafKeyHash: n.keyHash, LeafValHash: n.valHash}, nil
+}
+
+// VerifyAbsence checks that proof establishes key's absence under root.
+func VerifyAbsence(root Digest, key []byte, proof AbsenceProof) error {
+	kh := HashKey(key)
+	if root == EmptyRoot {
+		return nil // nothing is in the empty tree
+	}
+	if proof.LeafKeyHash == kh {
+		return fmt.Errorf("%w: terminal leaf holds the key itself", ErrBadProof)
+	}
+	h := leafHash(proof.LeafKeyHash, proof.LeafValHash)
+	lastBit := int16(numBits)
+	for i := len(proof.Steps) - 1; i >= 0; i-- {
+		s := proof.Steps[i]
+		if s.Bit < 0 || s.Bit >= numBits {
+			return fmt.Errorf("%w: bit index %d out of range", ErrProofShape, s.Bit)
+		}
+		if s.Bit >= lastBit {
+			return fmt.Errorf("%w: bit indices not strictly increasing root-to-leaf", ErrProofShape)
+		}
+		lastBit = s.Bit
+		// Directions are forced by the REQUESTED key's bits: this pins
+		// the path to the one the canonical lookup would take.
+		if bitAt(kh, int(s.Bit)) == 0 {
+			h = innerHash(s.Bit, h, s.Sibling)
+		} else {
+			h = innerHash(s.Bit, s.Sibling, h)
+		}
+	}
+	if h != root {
+		return ErrBadProof
+	}
+	return nil
+}
+
+// Walk visits every (keyHash, valHash) leaf in the version, in trie order.
+// Intended for tests and debugging tools.
+func (t *Tree) Walk(fn func(keyHash, valHash Digest)) {
+	var rec func(n *node)
+	rec = func(n *node) {
+		if n == nil {
+			return
+		}
+		if n.bit < 0 {
+			fn(n.keyHash, n.valHash)
+			return
+		}
+		rec(n.left)
+		rec(n.right)
+	}
+	rec(t.root)
+}

@@ -1,0 +1,454 @@
+package merkle
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", tr.Len())
+	}
+	if _, ok := tr.Get([]byte("x")); ok {
+		t.Fatal("Get on empty tree returned a value")
+	}
+	if _, _, err := tr.Prove([]byte("x")); err != ErrNotFound {
+		t.Fatalf("Prove on empty tree: err = %v, want ErrNotFound", err)
+	}
+	if tr.Root() != EmptyRoot {
+		t.Fatal("empty tree root is not EmptyRoot")
+	}
+}
+
+func TestInsertGet(t *testing.T) {
+	tr := New()
+	tr = tr.Insert([]byte("x"), HashValue([]byte("1")))
+	tr = tr.Insert([]byte("y"), HashValue([]byte("2")))
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr.Len())
+	}
+	vh, ok := tr.Get([]byte("x"))
+	if !ok || vh != HashValue([]byte("1")) {
+		t.Fatal("Get(x) wrong")
+	}
+	if _, ok := tr.Get([]byte("z")); ok {
+		t.Fatal("Get(z) found absent key")
+	}
+}
+
+func TestOverwriteKeepsSize(t *testing.T) {
+	tr := New().Insert([]byte("k"), HashValue([]byte("a")))
+	tr2 := tr.Insert([]byte("k"), HashValue([]byte("b")))
+	if tr2.Len() != 1 {
+		t.Fatalf("Len after overwrite = %d, want 1", tr2.Len())
+	}
+	if vh, _ := tr2.Get([]byte("k")); vh != HashValue([]byte("b")) {
+		t.Fatal("overwrite did not update value")
+	}
+	// Old version unchanged (persistence).
+	if vh, _ := tr.Get([]byte("k")); vh != HashValue([]byte("a")) {
+		t.Fatal("old version mutated by overwrite")
+	}
+}
+
+func TestPersistenceAcrossVersions(t *testing.T) {
+	versions := []*Tree{New()}
+	for i := 0; i < 50; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		versions = append(versions, versions[len(versions)-1].Insert(k, HashValue(k)))
+	}
+	for i, v := range versions {
+		if v.Len() != i {
+			t.Fatalf("version %d: Len = %d, want %d", i, v.Len(), i)
+		}
+		// Keys inserted later must be invisible in earlier versions.
+		for j := 0; j < 50; j++ {
+			k := []byte(fmt.Sprintf("key-%d", j))
+			_, ok := v.Get(k)
+			if want := j < i; ok != want {
+				t.Fatalf("version %d: Get(key-%d) = %v, want %v", i, j, ok, want)
+			}
+		}
+	}
+}
+
+func TestRootOrderIndependence(t *testing.T) {
+	keys := make([][]byte, 64)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%04d", i))
+	}
+	build := func(perm []int) Digest {
+		tr := New()
+		for _, i := range perm {
+			tr = tr.Insert(keys[i], HashValue(keys[i]))
+		}
+		return tr.Root()
+	}
+	base := make([]int, len(keys))
+	for i := range base {
+		base[i] = i
+	}
+	want := build(base)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		perm := rng.Perm(len(keys))
+		if got := build(perm); got != want {
+			t.Fatalf("trial %d: root differs under permuted insertion order", trial)
+		}
+	}
+}
+
+func TestRootChangesWithContent(t *testing.T) {
+	a := New().Insert([]byte("k"), HashValue([]byte("v1")))
+	b := New().Insert([]byte("k"), HashValue([]byte("v2")))
+	if a.Root() == b.Root() {
+		t.Fatal("different values produced the same root")
+	}
+	c := a.Insert([]byte("k2"), HashValue([]byte("v")))
+	if a.Root() == c.Root() {
+		t.Fatal("adding a key did not change the root")
+	}
+}
+
+func TestProveVerifyRoundTrip(t *testing.T) {
+	tr := New()
+	n := 200
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		tr = tr.Insert(k, HashValue([]byte(fmt.Sprintf("val-%d", i))))
+	}
+	root := tr.Root()
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		v := []byte(fmt.Sprintf("val-%d", i))
+		proof, vh, err := tr.Prove(k)
+		if err != nil {
+			t.Fatalf("Prove(%s): %v", k, err)
+		}
+		if vh != HashValue(v) {
+			t.Fatalf("Prove(%s) returned wrong value hash", k)
+		}
+		if err := VerifyProof(root, k, v, proof); err != nil {
+			t.Fatalf("VerifyProof(%s): %v", k, err)
+		}
+	}
+}
+
+func TestVerifyRejectsWrongValue(t *testing.T) {
+	tr := New().Insert([]byte("k"), HashValue([]byte("real")))
+	proof, _, err := tr.Prove([]byte("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if VerifyProof(tr.Root(), []byte("k"), []byte("forged"), proof) == nil {
+		t.Fatal("proof accepted for a value not in the tree")
+	}
+}
+
+func TestVerifyRejectsWrongKey(t *testing.T) {
+	tr := New().
+		Insert([]byte("a"), HashValue([]byte("1"))).
+		Insert([]byte("b"), HashValue([]byte("2")))
+	proof, _, err := tr.Prove([]byte("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if VerifyProof(tr.Root(), []byte("b"), []byte("1"), proof) == nil {
+		t.Fatal("proof for key a accepted for key b")
+	}
+}
+
+func TestVerifyRejectsWrongRoot(t *testing.T) {
+	tr := New().Insert([]byte("k"), HashValue([]byte("v")))
+	tr2 := tr.Insert([]byte("k"), HashValue([]byte("v2")))
+	proof, _, err := tr.Prove([]byte("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if VerifyProof(tr2.Root(), []byte("k"), []byte("v"), proof) == nil {
+		t.Fatal("stale proof accepted against a newer root")
+	}
+}
+
+func TestVerifyRejectsTamperedSibling(t *testing.T) {
+	tr := New()
+	for i := 0; i < 16; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		tr = tr.Insert(k, HashValue(k))
+	}
+	proof, _, err := tr.Prove([]byte("key-3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proof.Steps) == 0 {
+		t.Fatal("expected non-trivial proof")
+	}
+	proof.Steps[0].Sibling[5] ^= 1
+	if VerifyProof(tr.Root(), []byte("key-3"), []byte("key-3"), proof) == nil {
+		t.Fatal("tampered sibling accepted")
+	}
+}
+
+func TestVerifyRejectsMalformedShape(t *testing.T) {
+	tr := New()
+	for i := 0; i < 16; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		tr = tr.Insert(k, HashValue(k))
+	}
+	proof, _, err := tr.Prove([]byte("key-3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proof.Steps) < 2 {
+		t.Skip("proof too short to permute")
+	}
+	// Swap two steps: bit indices no longer increase root-to-leaf.
+	bad := Proof{Steps: append([]ProofStep(nil), proof.Steps...)}
+	bad.Steps[0], bad.Steps[1] = bad.Steps[1], bad.Steps[0]
+	if VerifyProof(tr.Root(), []byte("key-3"), []byte("key-3"), bad) == nil {
+		t.Fatal("shape-violating proof accepted")
+	}
+	// Out-of-range bit index.
+	bad2 := Proof{Steps: append([]ProofStep(nil), proof.Steps...)}
+	bad2.Steps[0].Bit = 300
+	if VerifyProof(tr.Root(), []byte("key-3"), []byte("key-3"), bad2) == nil {
+		t.Fatal("out-of-range bit accepted")
+	}
+}
+
+func TestApplyBatch(t *testing.T) {
+	tr := New().Insert([]byte("a"), HashValue([]byte("0")))
+	tr2 := tr.Apply(map[string]Digest{
+		"a": HashValue([]byte("1")),
+		"b": HashValue([]byte("2")),
+	})
+	if tr2.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr2.Len())
+	}
+	if vh, _ := tr2.Get([]byte("a")); vh != HashValue([]byte("1")) {
+		t.Fatal("Apply did not overwrite a")
+	}
+	if vh, _ := tr.Get([]byte("a")); vh != HashValue([]byte("0")) {
+		t.Fatal("Apply mutated the receiver")
+	}
+}
+
+func TestWalkVisitsAllLeaves(t *testing.T) {
+	tr := New()
+	want := map[Digest]bool{}
+	for i := 0; i < 33; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		tr = tr.Insert(k, HashValue(k))
+		want[HashKey(k)] = true
+	}
+	got := 0
+	tr.Walk(func(kh, vh Digest) {
+		if !want[kh] {
+			t.Fatalf("Walk visited unexpected leaf %x", kh[:4])
+		}
+		got++
+	})
+	if got != len(want) {
+		t.Fatalf("Walk visited %d leaves, want %d", got, len(want))
+	}
+}
+
+// TestAgainstMapModel drives the tree with random operations and checks it
+// against a plain map model, including proof verification at every version.
+func TestAgainstMapModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tr := New()
+	model := map[string][]byte{}
+	keyspace := 128
+	for step := 0; step < 1000; step++ {
+		k := fmt.Sprintf("key-%d", rng.Intn(keyspace))
+		v := []byte(fmt.Sprintf("val-%d", rng.Int63()))
+		tr = tr.Insert([]byte(k), HashValue(v))
+		model[k] = v
+		if tr.Len() != len(model) {
+			t.Fatalf("step %d: Len = %d, model = %d", step, tr.Len(), len(model))
+		}
+		// Spot-check a random model key with a full prove/verify cycle.
+		probe := fmt.Sprintf("key-%d", rng.Intn(keyspace))
+		mv, inModel := model[probe]
+		proof, vh, err := tr.Prove([]byte(probe))
+		if inModel {
+			if err != nil {
+				t.Fatalf("step %d: Prove(%s): %v", step, probe, err)
+			}
+			if vh != HashValue(mv) {
+				t.Fatalf("step %d: value hash mismatch for %s", step, probe)
+			}
+			if err := VerifyProof(tr.Root(), []byte(probe), mv, proof); err != nil {
+				t.Fatalf("step %d: VerifyProof(%s): %v", step, probe, err)
+			}
+		} else if err != ErrNotFound {
+			t.Fatalf("step %d: Prove(absent %s): err = %v, want ErrNotFound", step, probe, err)
+		}
+	}
+}
+
+// TestRootIsFunctionOfContentProperty: two trees built from the same final
+// mapping (regardless of intermediate overwrites) share a root.
+func TestRootIsFunctionOfContentProperty(t *testing.T) {
+	f := func(keys []uint8, seed int64) bool {
+		if len(keys) == 0 {
+			return true
+		}
+		final := map[string]Digest{}
+		for _, k := range keys {
+			key := fmt.Sprintf("k%d", k%32)
+			final[key] = HashValue([]byte{k})
+		}
+		// Build 1: straight from the final mapping.
+		a := New()
+		for k, vh := range final {
+			a = a.Insert([]byte(k), vh)
+		}
+		// Build 2: replay the full history (with overwrites) then fix up
+		// to the final mapping in random order.
+		b := New()
+		for _, k := range keys {
+			key := fmt.Sprintf("k%d", k%32)
+			b = b.Insert([]byte(key), HashValue([]byte{k ^ 0x55}))
+		}
+		rng := rand.New(rand.NewSource(seed))
+		order := make([]string, 0, len(final))
+		for k := range final {
+			order = append(order, k)
+		}
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, k := range order {
+			b = b.Insert([]byte(k), final[k])
+		}
+		return a.Root() == b.Root()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tr := New()
+	for i := 0; i < 10000; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		tr = tr.Insert(k, HashValue(k))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := []byte(fmt.Sprintf("bench-%d", i))
+		tr.Insert(k, HashValue(k))
+	}
+}
+
+func BenchmarkProve(b *testing.B) {
+	tr := New()
+	for i := 0; i < 10000; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		tr = tr.Insert(k, HashValue(k))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tr.Prove([]byte(fmt.Sprintf("key-%d", i%10000))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestProveAbsentRoundTrip(t *testing.T) {
+	tr := New()
+	for i := 0; i < 50; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		tr = tr.Insert(k, HashValue(k))
+	}
+	root := tr.Root()
+	for i := 50; i < 80; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		proof, err := tr.ProveAbsent(k)
+		if err != nil {
+			t.Fatalf("ProveAbsent(%s): %v", k, err)
+		}
+		if err := VerifyAbsence(root, k, proof); err != nil {
+			t.Fatalf("VerifyAbsence(%s): %v", k, err)
+		}
+	}
+}
+
+func TestProveAbsentRejectsPresentKey(t *testing.T) {
+	tr := New().Insert([]byte("k"), HashValue([]byte("v")))
+	if _, err := tr.ProveAbsent([]byte("k")); err != ErrPresent {
+		t.Fatalf("err = %v, want ErrPresent", err)
+	}
+}
+
+func TestVerifyAbsenceRejectsForgery(t *testing.T) {
+	tr := New()
+	for i := 0; i < 50; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		tr = tr.Insert(k, HashValue(k))
+	}
+	root := tr.Root()
+
+	// An absence proof for an absent key must not verify for a PRESENT
+	// key (hiding attack).
+	proof, err := tr.ProveAbsent([]byte("missing"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		if VerifyAbsence(root, k, proof) == nil {
+			t.Fatalf("absence of present key %s accepted", k)
+		}
+	}
+	// Tampered terminal leaf.
+	bad := proof
+	bad.LeafKeyHash[0] ^= 1
+	if VerifyAbsence(root, []byte("missing"), bad) == nil {
+		t.Fatal("tampered absence proof accepted")
+	}
+	// Wrong root.
+	tr2 := tr.Insert([]byte("missing"), HashValue([]byte("now present")))
+	if VerifyAbsence(tr2.Root(), []byte("missing"), proof) == nil {
+		t.Fatal("stale absence proof accepted after insertion")
+	}
+}
+
+func TestVerifyAbsenceEmptyTree(t *testing.T) {
+	tr := New()
+	proof, err := tr.ProveAbsent([]byte("anything"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyAbsence(tr.Root(), []byte("anything"), proof); err != nil {
+		t.Fatalf("empty-tree absence: %v", err)
+	}
+}
+
+func TestAbsenceAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := New()
+	present := map[string]bool{}
+	for i := 0; i < 300; i++ {
+		k := fmt.Sprintf("key-%d", rng.Intn(200))
+		tr = tr.Insert([]byte(k), HashValue([]byte(k)))
+		present[k] = true
+		probe := fmt.Sprintf("key-%d", rng.Intn(400))
+		proof, err := tr.ProveAbsent([]byte(probe))
+		if present[probe] {
+			if err != ErrPresent {
+				t.Fatalf("ProveAbsent(present %s) err = %v", probe, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("ProveAbsent(%s): %v", probe, err)
+		}
+		if err := VerifyAbsence(tr.Root(), []byte(probe), proof); err != nil {
+			t.Fatalf("VerifyAbsence(%s): %v", probe, err)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"transedge/internal/cryptoutil"
+)
+
+// enc is an append-only canonical binary encoder. All integers are
+// big-endian and all variable-length fields are length-prefixed, so two
+// logically equal values always serialize to identical bytes.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *enc) u32(v uint32) { e.b = binary.BigEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64) { e.b = binary.BigEndian.AppendUint64(e.b, v) }
+func (e *enc) i32(v int32)  { e.u32(uint32(v)) }
+func (e *enc) i64(v int64)  { e.u64(uint64(v)) }
+func (e *enc) bytes(v []byte) {
+	e.u32(uint32(len(v)))
+	e.b = append(e.b, v...)
+}
+func (e *enc) str(v string)    { e.bytes([]byte(v)) }
+func (e *enc) digest(d Digest) { e.b = append(e.b, d[:]...) }
+
+// EncodeTransaction returns the canonical encoding of t.
+func EncodeTransaction(t *Transaction) []byte {
+	var e enc
+	e.u64(uint64(t.ID))
+	e.u32(uint32(len(t.Reads)))
+	for _, r := range t.Reads {
+		e.str(r.Key)
+		e.i64(r.Version)
+	}
+	e.u32(uint32(len(t.Writes)))
+	for _, w := range t.Writes {
+		e.str(w.Key)
+		e.bytes(w.Value)
+	}
+	e.u32(uint32(len(t.Partitions)))
+	for _, p := range t.Partitions {
+		e.i32(p)
+	}
+	return e.b
+}
+
+// TransactionDigest hashes the canonical encoding of t.
+func TransactionDigest(t *Transaction) Digest {
+	return cryptoutil.Hash(EncodeTransaction(t))
+}
+
+// EncodeCDVector returns the canonical encoding of v.
+func EncodeCDVector(v CDVector) []byte {
+	var e enc
+	e.u32(uint32(len(v)))
+	for _, x := range v {
+		e.i64(x)
+	}
+	return e.b
+}
+
+// EncodePrepareRecord returns the canonical encoding of r.
+func EncodePrepareRecord(r *PrepareRecord) []byte {
+	var e enc
+	e.b = append(e.b, EncodeTransaction(&r.Txn)...)
+	e.i32(r.CoordCluster)
+	return e.b
+}
+
+// EncodeCommitRecord returns the canonical encoding of r.
+func EncodeCommitRecord(r *CommitRecord) []byte {
+	var e enc
+	e.b = append(e.b, EncodeTransaction(&r.Txn)...)
+	e.u8(uint8(r.Decision))
+	e.u32(uint32(len(r.ReportedCDs)))
+	for _, cd := range r.ReportedCDs {
+		e.b = append(e.b, EncodeCDVector(cd)...)
+	}
+	return e.b
+}
+
+// Section digests: each batch segment hashes to one digest so that 2PC
+// proofs can ship a single segment plus the header rather than the whole
+// batch.
+
+// LocalSectionDigest hashes the local segment.
+func LocalSectionDigest(txns []Transaction) Digest {
+	parts := make([][]byte, 0, len(txns)+1)
+	parts = append(parts, []byte("local"))
+	for i := range txns {
+		parts = append(parts, EncodeTransaction(&txns[i]))
+	}
+	return cryptoutil.HashConcat(parts...)
+}
+
+// PreparedSectionDigest hashes the prepared segment.
+func PreparedSectionDigest(recs []PrepareRecord) Digest {
+	parts := make([][]byte, 0, len(recs)+1)
+	parts = append(parts, []byte("prepared"))
+	for i := range recs {
+		parts = append(parts, EncodePrepareRecord(&recs[i]))
+	}
+	return cryptoutil.HashConcat(parts...)
+}
+
+// CommittedSectionDigest hashes the committed segment.
+func CommittedSectionDigest(recs []CommitRecord) Digest {
+	parts := make([][]byte, 0, len(recs)+1)
+	parts = append(parts, []byte("committed"))
+	for i := range recs {
+		parts = append(parts, EncodeCommitRecord(&recs[i]))
+	}
+	return cryptoutil.HashConcat(parts...)
+}
+
+// BatchHeader is the fixed-size summary of a batch. The batch digest —
+// the message replicas sign — is the hash of the header, and the header
+// commits to every segment through the section digests, so a certificate
+// over the header authenticates the entire batch content.
+type BatchHeader struct {
+	Cluster    int32
+	ID         int64
+	PrevDigest Digest
+	Timestamp  int64
+
+	LocalDigest     Digest
+	PreparedDigest  Digest
+	CommittedDigest Digest
+
+	CD         CDVector
+	LCE        int64
+	MerkleRoot Digest
+}
+
+// Encode returns the canonical encoding of h.
+func (h *BatchHeader) Encode() []byte {
+	var e enc
+	e.b = append(e.b, []byte("transedge-batch-v1")...)
+	e.i32(h.Cluster)
+	e.i64(h.ID)
+	e.digest(h.PrevDigest)
+	e.i64(h.Timestamp)
+	e.digest(h.LocalDigest)
+	e.digest(h.PreparedDigest)
+	e.digest(h.CommittedDigest)
+	e.b = append(e.b, EncodeCDVector(h.CD)...)
+	e.i64(h.LCE)
+	e.digest(h.MerkleRoot)
+	return e.b
+}
+
+// Digest hashes the header encoding; this is the signed batch digest.
+func (h *BatchHeader) Digest() Digest {
+	return cryptoutil.Hash(h.Encode())
+}
+
+// Header computes the header of b, including all section digests.
+func (b *Batch) Header() BatchHeader {
+	return BatchHeader{
+		Cluster:         b.Cluster,
+		ID:              b.ID,
+		PrevDigest:      b.PrevDigest,
+		Timestamp:       b.Timestamp,
+		LocalDigest:     LocalSectionDigest(b.Local),
+		PreparedDigest:  PreparedSectionDigest(b.Prepared),
+		CommittedDigest: CommittedSectionDigest(b.Committed),
+		CD:              b.CD.Clone(),
+		LCE:             b.LCE,
+		MerkleRoot:      b.MerkleRoot,
+	}
+}
+
+// Digest is the signed digest of the batch.
+func (b *Batch) Digest() Digest {
+	h := b.Header()
+	return h.Digest()
+}
+
+// CertifiedBatch pairs a batch with its f+1-signature certificate.
+type CertifiedBatch struct {
+	Batch *Batch
+	Cert  cryptoutil.Certificate
+}
+
+// Proof errors.
+var (
+	ErrProofCert    = errors.New("protocol: batch certificate invalid")
+	ErrProofSection = errors.New("protocol: section does not match header digest")
+	ErrProofMissing = errors.New("protocol: transaction not present in proven section")
+)
+
+// PrepareProof proves that a transaction's prepare record is part of a
+// certified batch of the sending cluster's SMR log: the batch header, the
+// cluster's f+1 certificate over the header digest, and the full prepared
+// segment (which the header commits to). This is the "proof that it is
+// part of the SMR log" of Sec. 3.3.2/3.3.3; the header's CD vector doubles
+// as the piggybacked dependency report of Sec. 4.3.3(c).
+type PrepareProof struct {
+	Header   BatchHeader
+	Cert     cryptoutil.Certificate
+	Prepared []PrepareRecord
+}
+
+// Verify checks the certificate (threshold signatures over the header
+// digest) and that the prepared segment both matches the header and
+// contains txnID. It returns the matching record.
+func (p *PrepareProof) Verify(ring *cryptoutil.KeyRing, threshold int, txnID TxnID) (*PrepareRecord, error) {
+	d := p.Header.Digest()
+	if err := cryptoutil.VerifyCertificate(ring, p.Cert, d[:], threshold); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrProofCert, err)
+	}
+	if PreparedSectionDigest(p.Prepared) != p.Header.PreparedDigest {
+		return nil, ErrProofSection
+	}
+	for i := range p.Prepared {
+		if p.Prepared[i].Txn.ID == txnID {
+			return &p.Prepared[i], nil
+		}
+	}
+	return nil, ErrProofMissing
+}
+
+// CommitProof proves that a commit record for a transaction is part of a
+// certified batch (used when a coordinator distributes its decision,
+// Sec. 3.3.4 step 7).
+type CommitProof struct {
+	Header    BatchHeader
+	Cert      cryptoutil.Certificate
+	Committed []CommitRecord
+}
+
+// Verify checks the certificate and segment binding and returns the commit
+// record for txnID.
+func (p *CommitProof) Verify(ring *cryptoutil.KeyRing, threshold int, txnID TxnID) (*CommitRecord, error) {
+	d := p.Header.Digest()
+	if err := cryptoutil.VerifyCertificate(ring, p.Cert, d[:], threshold); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrProofCert, err)
+	}
+	if CommittedSectionDigest(p.Committed) != p.Header.CommittedDigest {
+		return nil, ErrProofSection
+	}
+	for i := range p.Committed {
+		if p.Committed[i].Txn.ID == txnID {
+			return &p.Committed[i], nil
+		}
+	}
+	return nil, ErrProofMissing
+}

@@ -1,0 +1,255 @@
+// Package protocol defines the domain types shared by every layer of the
+// TransEdge reproduction: transactions, the four-segment batches of the
+// SMR log (paper Fig. 2), Conflict-Dependency (CD) vectors, Last Committed
+// Epoch (LCE) numbers, and the canonical binary encoding used for every
+// artifact that is hashed or signed.
+//
+// Canonical encoding matters because batch certificates are f+1 replica
+// signatures over the batch digest: every honest replica must serialize a
+// batch to exactly the same bytes.
+package protocol
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"transedge/internal/cryptoutil"
+)
+
+// Digest aliases the system-wide digest type.
+type Digest = cryptoutil.Digest
+
+// TxnID uniquely identifies a transaction across the system. Clients mint
+// IDs as (client index << 32 | sequence number).
+type TxnID uint64
+
+// MakeTxnID builds a transaction ID from a client index and sequence.
+func MakeTxnID(client uint32, seq uint32) TxnID {
+	return TxnID(uint64(client)<<32 | uint64(seq))
+}
+
+func (id TxnID) String() string {
+	return fmt.Sprintf("t%d.%d", uint64(id)>>32, uint64(id)&0xffffffff)
+}
+
+// WriteOp is a buffered write in a transaction's write set.
+type WriteOp struct {
+	Key   string
+	Value []byte
+}
+
+// ReadEntry is one element of a transaction's read set: the key and the
+// version observed (the ID of the batch that wrote the value, 0 for the
+// initial data load). OCC validation (Def. 3.1 rule 1) checks the key has
+// not been overwritten since.
+type ReadEntry struct {
+	Key     string
+	Version int64
+}
+
+// Transaction is the client-constructed transaction object (paper Sec. 2,
+// "Interface"): a read set with observed versions and a buffered write
+// set. Partitions lists the clusters accessed, sorted ascending.
+type Transaction struct {
+	ID         TxnID
+	Reads      []ReadEntry
+	Writes     []WriteOp
+	Partitions []int32
+}
+
+// IsLocal reports whether the transaction touches a single partition.
+func (t *Transaction) IsLocal() bool { return len(t.Partitions) <= 1 }
+
+// Partitioner maps keys to partitions by hashing, mirroring the paper's
+// uniform key distribution across clusters (Sec. 5.1).
+type Partitioner struct {
+	N int32 // number of partitions
+}
+
+// Of returns the partition owning key.
+func (p Partitioner) Of(key string) int32 {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int32(h.Sum32() % uint32(p.N))
+}
+
+// PartitionsOf computes the sorted set of partitions touched by the given
+// read and write sets.
+func (p Partitioner) PartitionsOf(reads []ReadEntry, writes []WriteOp) []int32 {
+	seen := make(map[int32]bool)
+	for _, r := range reads {
+		seen[p.Of(r.Key)] = true
+	}
+	for _, w := range writes {
+		seen[p.Of(w.Key)] = true
+	}
+	out := make([]int32, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ReadsFor returns the subset of t's read set owned by cluster.
+func (t *Transaction) ReadsFor(p Partitioner, cluster int32) []ReadEntry {
+	var out []ReadEntry
+	for _, r := range t.Reads {
+		if p.Of(r.Key) == cluster {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// WritesFor returns the subset of t's write set owned by cluster.
+func (t *Transaction) WritesFor(p Partitioner, cluster int32) []WriteOp {
+	var out []WriteOp
+	for _, w := range t.Writes {
+		if p.Of(w.Key) == cluster {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Decision is the 2PC outcome for a transaction.
+type Decision uint8
+
+const (
+	// DecisionPending marks a prepared transaction still waiting for its
+	// coordinator's verdict.
+	DecisionPending Decision = iota
+	// DecisionCommit commits the transaction.
+	DecisionCommit
+	// DecisionAbort aborts it.
+	DecisionAbort
+)
+
+func (d Decision) String() string {
+	switch d {
+	case DecisionPending:
+		return "pending"
+	case DecisionCommit:
+		return "commit"
+	case DecisionAbort:
+		return "abort"
+	default:
+		return fmt.Sprintf("decision(%d)", uint8(d))
+	}
+}
+
+// TxnStatus is the terminal status reported to clients.
+type TxnStatus uint8
+
+const (
+	// StatusCommitted means the transaction is durably committed.
+	StatusCommitted TxnStatus = iota + 1
+	// StatusAborted means conflict detection rejected the transaction.
+	StatusAborted
+)
+
+func (s TxnStatus) String() string {
+	switch s {
+	case StatusCommitted:
+		return "committed"
+	case StatusAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// NoDependency is the CD vector entry meaning "no dependency on that
+// partition yet" (the -1 entries in paper Fig. 3).
+const NoDependency int64 = -1
+
+// CDVector is the Conflict-Dependency vector attached to every batch: one
+// entry per partition, holding the highest prepare-batch number at that
+// partition the batch (transitively) depends on (paper Sec. 4.3).
+type CDVector []int64
+
+// NewCDVector returns a vector of n entries, all NoDependency.
+func NewCDVector(n int) CDVector {
+	v := make(CDVector, n)
+	for i := range v {
+		v[i] = NoDependency
+	}
+	return v
+}
+
+// Clone returns a copy of v.
+func (v CDVector) Clone() CDVector {
+	out := make(CDVector, len(v))
+	copy(out, v)
+	return out
+}
+
+// MaxInto sets v to the pairwise maximum of v and o (Algorithm 1's
+// pairwise_max). Panics if lengths differ — all CD vectors in a system
+// have exactly one entry per partition.
+func (v CDVector) MaxInto(o CDVector) {
+	if len(v) != len(o) {
+		panic(fmt.Sprintf("protocol: CD vector length mismatch %d vs %d", len(v), len(o)))
+	}
+	for i, x := range o {
+		if x > v[i] {
+			v[i] = x
+		}
+	}
+}
+
+// PrepareRecord is an entry of a batch's prepared segment: a distributed
+// transaction that is 2PC-prepared at this partition but not yet decided.
+type PrepareRecord struct {
+	Txn          Transaction
+	CoordCluster int32
+}
+
+// CommitRecord is an entry of a batch's committed segment: a distributed
+// transaction with its 2PC decision and, for committed transactions, the
+// CD vectors piggybacked on the prepared messages of every participant
+// (Sec. 4.3.3c); Algorithm 1 folds these into the batch's CD vector.
+type CommitRecord struct {
+	Txn         Transaction
+	Decision    Decision
+	ReportedCDs []CDVector
+}
+
+// Batch is one entry of the per-cluster SMR log, with the four segments of
+// paper Fig. 2. ID doubles as the batch timestamp within the log.
+type Batch struct {
+	Cluster    int32
+	ID         int64
+	PrevDigest Digest // chains the log; genesis uses the zero digest
+	Timestamp  int64  // leader wall-clock (unix nanos) for freshness checks
+
+	// Segment 1: local transactions, committed when the batch is written.
+	Local []Transaction
+	// Segment 2: distributed transactions prepared (2PC) in this batch.
+	Prepared []PrepareRecord
+	// Segment 3: distributed transactions whose 2PC decision is recorded
+	// in this batch (the whole prepare group commits together).
+	Committed []CommitRecord
+
+	// Segment 4: the read-only segment.
+	CD         CDVector
+	LCE        int64
+	MerkleRoot Digest
+
+	// Evidence travels with the proposal so validating replicas can check
+	// it before voting, but is NOT covered by the header digest: the vote
+	// itself attests that a replica verified the evidence, and keeping it
+	// out of the digest prevents recursive proof blow-up (a PrepareProof
+	// embeds a prepared segment, which would otherwise embed proofs).
+	//
+	// PrepareEvidence maps a prepared transaction to the coordinator's
+	// proof that the transaction is 2PC-prepared in the coordinator's SMR
+	// log (absent when this cluster is the coordinator — the client
+	// request originated here).
+	PrepareEvidence map[TxnID]*PrepareProof
+	// CommitEvidence maps a committed-segment transaction to the
+	// prepared votes of every participant, justifying the decision.
+	CommitEvidence map[TxnID][]PreparedVote
+}

@@ -1,0 +1,134 @@
+// Package store implements the multi-version key-value storage used by
+// every TransEdge replica.
+//
+// Each committed batch writes a new version of the keys it touches, tagged
+// with the batch ID. Point-in-time reads ("value of k as of batch i")
+// power both OCC validation (a read set records the writer batch of each
+// value) and the second round of the read-only protocol, which serves the
+// snapshot of an earlier batch after later batches have committed.
+package store
+
+import (
+	"sort"
+	"sync"
+)
+
+// GenesisBatch is the version assigned to the initial data load.
+const GenesisBatch int64 = 0
+
+// version is one historical value of a key.
+type version struct {
+	batch int64
+	value []byte
+}
+
+// Store is a thread-safe multi-version map. Versions for a key are kept in
+// strictly increasing batch order; Apply must be called with
+// non-decreasing batch IDs (the SMR log already serializes batches).
+type Store struct {
+	mu   sync.RWMutex
+	data map[string][]version
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{data: make(map[string][]version)}
+}
+
+// Load initializes keys at the genesis version. Intended for the initial
+// data placement before the system starts.
+func (s *Store) Load(kv map[string][]byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, v := range kv {
+		s.data[k] = []version{{batch: GenesisBatch, value: v}}
+	}
+}
+
+// Apply writes a batch of updates as versions tagged with batch.
+// Overwriting within the same batch replaces the version (last write
+// wins), matching batch semantics where conflicting transactions never
+// share a batch.
+func (s *Store) Apply(batch int64, writes map[string][]byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, v := range writes {
+		vs := s.data[k]
+		if n := len(vs); n > 0 && vs[n-1].batch == batch {
+			vs[n-1].value = v
+		} else {
+			vs = append(vs, version{batch: batch, value: v})
+		}
+		s.data[k] = vs
+	}
+}
+
+// Get returns the latest committed value of key and the batch that wrote
+// it.
+func (s *Store) Get(key string) (value []byte, writer int64, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	vs := s.data[key]
+	if len(vs) == 0 {
+		return nil, 0, false
+	}
+	last := vs[len(vs)-1]
+	return last.value, last.batch, true
+}
+
+// GetAsOf returns the value of key as of the given batch (the newest
+// version with writer batch <= asOf) and the writer batch.
+func (s *Store) GetAsOf(key string, asOf int64) (value []byte, writer int64, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	vs := s.data[key]
+	// First index with batch > asOf; the predecessor is the answer.
+	i := sort.Search(len(vs), func(i int) bool { return vs[i].batch > asOf })
+	if i == 0 {
+		return nil, 0, false
+	}
+	v := vs[i-1]
+	return v.value, v.batch, true
+}
+
+// LastWriter returns the batch that last wrote key, or -1 if the key has
+// never been written.
+func (s *Store) LastWriter(key string) int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	vs := s.data[key]
+	if len(vs) == 0 {
+		return -1
+	}
+	return vs[len(vs)-1].batch
+}
+
+// Keys returns the number of distinct keys stored.
+func (s *Store) Keys() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// VersionCount returns the number of retained versions of key, for tests
+// and introspection tooling.
+func (s *Store) VersionCount(key string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data[key])
+}
+
+// Prune drops versions strictly older than the newest version at or below
+// keepFrom for every key, bounding memory in long runs while preserving
+// the ability to serve snapshots at or after keepFrom.
+func (s *Store) Prune(keepFrom int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, vs := range s.data {
+		i := sort.Search(len(vs), func(i int) bool { return vs[i].batch > keepFrom })
+		// vs[i-1] is the version visible at keepFrom; keep it and later.
+		if i > 1 {
+			s.data[k] = append(vs[:0:0], vs[i-1:]...)
+		}
+	}
+}

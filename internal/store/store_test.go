@@ -1,0 +1,210 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyStore(t *testing.T) {
+	s := New()
+	if _, _, ok := s.Get("x"); ok {
+		t.Fatal("Get on empty store returned a value")
+	}
+	if _, _, ok := s.GetAsOf("x", 100); ok {
+		t.Fatal("GetAsOf on empty store returned a value")
+	}
+	if s.LastWriter("x") != -1 {
+		t.Fatal("LastWriter on empty store != -1")
+	}
+	if s.Keys() != 0 {
+		t.Fatal("Keys on empty store != 0")
+	}
+}
+
+func TestLoadAndGet(t *testing.T) {
+	s := New()
+	s.Load(map[string][]byte{"a": []byte("1"), "b": []byte("2")})
+	v, w, ok := s.Get("a")
+	if !ok || string(v) != "1" || w != GenesisBatch {
+		t.Fatalf("Get(a) = %q %d %v", v, w, ok)
+	}
+	if s.Keys() != 2 {
+		t.Fatalf("Keys = %d, want 2", s.Keys())
+	}
+}
+
+func TestApplyVersions(t *testing.T) {
+	s := New()
+	s.Load(map[string][]byte{"k": []byte("v0")})
+	s.Apply(3, map[string][]byte{"k": []byte("v3")})
+	s.Apply(7, map[string][]byte{"k": []byte("v7")})
+
+	v, w, _ := s.Get("k")
+	if string(v) != "v7" || w != 7 {
+		t.Fatalf("Get = %q at %d", v, w)
+	}
+	cases := []struct {
+		asOf  int64
+		value string
+		batch int64
+	}{
+		{0, "v0", 0}, {1, "v0", 0}, {2, "v0", 0},
+		{3, "v3", 3}, {4, "v3", 3}, {6, "v3", 3},
+		{7, "v7", 7}, {100, "v7", 7},
+	}
+	for _, c := range cases {
+		v, w, ok := s.GetAsOf("k", c.asOf)
+		if !ok || string(v) != c.value || w != c.batch {
+			t.Fatalf("GetAsOf(%d) = %q %d %v, want %q %d", c.asOf, v, w, ok, c.value, c.batch)
+		}
+	}
+	if _, _, ok := s.GetAsOf("k", -1); ok {
+		t.Fatal("GetAsOf before genesis returned a value")
+	}
+}
+
+func TestApplySameBatchLastWriteWins(t *testing.T) {
+	s := New()
+	s.Apply(2, map[string][]byte{"k": []byte("a")})
+	s.Apply(2, map[string][]byte{"k": []byte("b")})
+	v, w, _ := s.Get("k")
+	if string(v) != "b" || w != 2 {
+		t.Fatalf("Get = %q at %d, want b at 2", v, w)
+	}
+	if s.VersionCount("k") != 1 {
+		t.Fatalf("VersionCount = %d, want 1 (replaced, not appended)", s.VersionCount("k"))
+	}
+}
+
+func TestLastWriter(t *testing.T) {
+	s := New()
+	s.Load(map[string][]byte{"k": []byte("v")})
+	if s.LastWriter("k") != GenesisBatch {
+		t.Fatal("LastWriter after load wrong")
+	}
+	s.Apply(5, map[string][]byte{"k": []byte("v5")})
+	if s.LastWriter("k") != 5 {
+		t.Fatal("LastWriter after apply wrong")
+	}
+}
+
+func TestPrune(t *testing.T) {
+	s := New()
+	s.Load(map[string][]byte{"k": []byte("v0")})
+	for i := int64(1); i <= 10; i++ {
+		s.Apply(i, map[string][]byte{"k": []byte(fmt.Sprintf("v%d", i))})
+	}
+	s.Prune(5)
+	// Snapshots at or after 5 must still be exact.
+	for i := int64(5); i <= 10; i++ {
+		v, _, ok := s.GetAsOf("k", i)
+		if !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("after prune, GetAsOf(%d) = %q %v", i, v, ok)
+		}
+	}
+	if got := s.VersionCount("k"); got != 6 {
+		t.Fatalf("VersionCount after prune = %d, want 6", got)
+	}
+}
+
+func TestConcurrentReadersAndWriter(t *testing.T) {
+	s := New()
+	s.Load(map[string][]byte{"k": []byte("v0")})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					s.Get("k")
+					s.GetAsOf("k", 3)
+					s.LastWriter("k")
+				}
+			}
+		}()
+	}
+	for b := int64(1); b <= 200; b++ {
+		s.Apply(b, map[string][]byte{"k": []byte(fmt.Sprintf("v%d", b))})
+	}
+	close(stop)
+	wg.Wait()
+	v, w, _ := s.Get("k")
+	if string(v) != "v200" || w != 200 {
+		t.Fatalf("final value %q at %d", v, w)
+	}
+}
+
+// TestAgainstModel compares the store against a naive model of full
+// version history under random batched writes.
+func TestAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := New()
+	type mv struct {
+		batch int64
+		value string
+	}
+	model := map[string][]mv{}
+	keys := []string{"a", "b", "c", "d"}
+	for batch := int64(1); batch <= 300; batch++ {
+		writes := map[string][]byte{}
+		for _, k := range keys {
+			if rng.Intn(2) == 0 {
+				v := fmt.Sprintf("%s-%d", k, batch)
+				writes[k] = []byte(v)
+				model[k] = append(model[k], mv{batch, v})
+			}
+		}
+		s.Apply(batch, writes)
+
+		// Probe a random key at a random historical batch.
+		k := keys[rng.Intn(len(keys))]
+		asOf := rng.Int63n(batch + 1)
+		var want *mv
+		for i := range model[k] {
+			if model[k][i].batch <= asOf {
+				want = &model[k][i]
+			}
+		}
+		v, w, ok := s.GetAsOf(k, asOf)
+		if want == nil {
+			if ok {
+				t.Fatalf("batch %d: GetAsOf(%s,%d) found %q, model has nothing", batch, k, asOf, v)
+			}
+		} else if !ok || string(v) != want.value || w != want.batch {
+			t.Fatalf("batch %d: GetAsOf(%s,%d) = %q@%d %v, want %q@%d",
+				batch, k, asOf, v, w, ok, want.value, want.batch)
+		}
+	}
+}
+
+// TestGetAsOfMonotoneProperty: for a fixed key, GetAsOf is monotone in the
+// asOf argument (later snapshots never show older versions).
+func TestGetAsOfMonotoneProperty(t *testing.T) {
+	s := New()
+	for b := int64(1); b <= 50; b += 3 {
+		s.Apply(b, map[string][]byte{"k": []byte(fmt.Sprintf("v%d", b))})
+	}
+	f := func(a, b uint8) bool {
+		lo, hi := int64(a%60), int64(b%60)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		_, w1, ok1 := s.GetAsOf("k", lo)
+		_, w2, ok2 := s.GetAsOf("k", hi)
+		if !ok1 {
+			return true // nothing visible yet at lo
+		}
+		return ok2 && w2 >= w1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

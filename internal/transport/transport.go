@@ -1,0 +1,235 @@
+// Package transport provides the simulated network substrate for the
+// TransEdge reproduction.
+//
+// The paper evaluates on five geo-distributed clusters and injects
+// 0–500 ms of additional inter-cluster latency (Figs. 8, 12, 13). This
+// package reproduces that environment in-process: every node owns an
+// unbounded mailbox, and a pluggable latency function delays delivery
+// between nodes. A drop filter supports byzantine fault injection
+// (silent nodes, partitioned links).
+//
+// A production deployment would place a TCP/gRPC implementation behind the
+// same Send/mailbox interface; the protocol layers above never assume
+// in-process delivery.
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"transedge/internal/cryptoutil"
+)
+
+// NodeID aliases the system-wide node identity. Clients are addressed with
+// Cluster == ClientCluster.
+type NodeID = cryptoutil.NodeID
+
+// ClientCluster is the pseudo-cluster index used to address clients.
+const ClientCluster int32 = -1
+
+// Envelope is one delivered message.
+type Envelope struct {
+	From    NodeID
+	To      NodeID
+	SentAt  time.Time
+	Payload any
+}
+
+// LatencyFunc returns the one-way delivery delay from one node to another.
+type LatencyFunc func(from, to NodeID) time.Duration
+
+// FilterFunc inspects an envelope before delivery; returning false drops
+// it. Used to simulate silent byzantine nodes and network partitions.
+type FilterFunc func(Envelope) bool
+
+// ClusterLatency builds the latency model used throughout the evaluation:
+// a small uniform intra-cluster delay and a larger inter-cluster delay.
+// Client links use the inter-cluster delay (clients are remote).
+func ClusterLatency(intra, inter time.Duration) LatencyFunc {
+	return func(from, to NodeID) time.Duration {
+		if from.Cluster == to.Cluster && from.Cluster != ClientCluster {
+			return intra
+		}
+		return inter
+	}
+}
+
+// Stats counts network traffic; tests use it to validate the message
+// complexity claims (e.g., read-only transactions touch one node per
+// partition).
+type Stats struct {
+	Sent      atomic.Int64
+	Delivered atomic.Int64
+	Dropped   atomic.Int64
+}
+
+// mailbox is an unbounded FIFO queue pumped into a channel, so senders
+// never block and protocol logic cannot deadlock on full buffers.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Envelope
+	out    chan Envelope
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{out: make(chan Envelope, 64)}
+	m.cond = sync.NewCond(&m.mu)
+	go m.pump()
+	return m
+}
+
+func (m *mailbox) push(e Envelope) {
+	m.mu.Lock()
+	if !m.closed {
+		m.queue = append(m.queue, e)
+		m.cond.Signal()
+	}
+	m.mu.Unlock()
+}
+
+func (m *mailbox) pump() {
+	for {
+		m.mu.Lock()
+		for len(m.queue) == 0 && !m.closed {
+			m.cond.Wait()
+		}
+		if m.closed && len(m.queue) == 0 {
+			m.mu.Unlock()
+			close(m.out)
+			return
+		}
+		e := m.queue[0]
+		m.queue = m.queue[1:]
+		m.mu.Unlock()
+		m.out <- e
+	}
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Signal()
+	m.mu.Unlock()
+}
+
+// Network routes envelopes between registered nodes with configurable
+// latency and fault injection. All methods are safe for concurrent use.
+type Network struct {
+	mu      sync.RWMutex
+	boxes   map[NodeID]*mailbox
+	latency LatencyFunc
+	filter  FilterFunc
+	stopped bool
+	timers  sync.WaitGroup
+
+	// Stats is exported for tests and the benchmark harness.
+	Stats Stats
+}
+
+// NewNetwork creates a network with zero latency and no fault filter.
+func NewNetwork() *Network {
+	return &Network{
+		boxes:   make(map[NodeID]*mailbox),
+		latency: func(NodeID, NodeID) time.Duration { return 0 },
+	}
+}
+
+// SetLatency installs the latency model. Safe to call while running.
+func (n *Network) SetLatency(f LatencyFunc) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if f == nil {
+		f = func(NodeID, NodeID) time.Duration { return 0 }
+	}
+	n.latency = f
+}
+
+// SetFilter installs a drop filter. Pass nil to clear.
+func (n *Network) SetFilter(f FilterFunc) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.filter = f
+}
+
+// Register creates the mailbox for id and returns its delivery channel.
+// Registering the same id twice returns the existing channel.
+func (n *Network) Register(id NodeID) <-chan Envelope {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if b, ok := n.boxes[id]; ok {
+		return b.out
+	}
+	b := newMailbox()
+	n.boxes[id] = b
+	return b.out
+}
+
+// Send delivers payload from one node to another, subject to the latency
+// model and drop filter. Sends to unregistered nodes are counted as drops.
+func (n *Network) Send(from, to NodeID, payload any) {
+	n.mu.RLock()
+	if n.stopped {
+		n.mu.RUnlock()
+		return
+	}
+	box := n.boxes[to]
+	lat := n.latency(from, to)
+	filter := n.filter
+	n.mu.RUnlock()
+
+	n.Stats.Sent.Add(1)
+	env := Envelope{From: from, To: to, SentAt: time.Now(), Payload: payload}
+	if box == nil || (filter != nil && !filter(env)) {
+		n.Stats.Dropped.Add(1)
+		return
+	}
+	deliver := func() {
+		box.push(env)
+		n.Stats.Delivered.Add(1)
+	}
+	if lat <= 0 {
+		deliver()
+		return
+	}
+	n.timers.Add(1)
+	time.AfterFunc(lat, func() {
+		defer n.timers.Done()
+		n.mu.RLock()
+		stopped := n.stopped
+		n.mu.RUnlock()
+		if !stopped {
+			deliver()
+		}
+	})
+}
+
+// Broadcast sends payload from one node to every listed destination.
+func (n *Network) Broadcast(from NodeID, tos []NodeID, payload any) {
+	for _, to := range tos {
+		n.Send(from, to, payload)
+	}
+}
+
+// Stop shuts the network down: pending deliveries are cancelled and all
+// mailboxes are drained and closed.
+func (n *Network) Stop() {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.stopped = true
+	boxes := make([]*mailbox, 0, len(n.boxes))
+	for _, b := range n.boxes {
+		boxes = append(boxes, b)
+	}
+	n.mu.Unlock()
+
+	n.timers.Wait()
+	for _, b := range boxes {
+		b.close()
+	}
+}

@@ -1,0 +1,188 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func id(c, r int32) NodeID { return NodeID{Cluster: c, Replica: r} }
+
+func TestSendDeliver(t *testing.T) {
+	n := NewNetwork()
+	defer n.Stop()
+	in := n.Register(id(0, 1))
+	n.Send(id(0, 0), id(0, 1), "hello")
+	select {
+	case e := <-in:
+		if e.Payload != "hello" || e.From != id(0, 0) || e.To != id(0, 1) {
+			t.Fatalf("bad envelope: %+v", e)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("message not delivered")
+	}
+}
+
+func TestSendToUnregisteredIsDropped(t *testing.T) {
+	n := NewNetwork()
+	defer n.Stop()
+	n.Send(id(0, 0), id(9, 9), "lost")
+	if got := n.Stats.Dropped.Load(); got != 1 {
+		t.Fatalf("Dropped = %d, want 1", got)
+	}
+}
+
+func TestFIFOWithinLink(t *testing.T) {
+	n := NewNetwork()
+	defer n.Stop()
+	in := n.Register(id(0, 1))
+	const count = 500
+	for i := 0; i < count; i++ {
+		n.Send(id(0, 0), id(0, 1), i)
+	}
+	for i := 0; i < count; i++ {
+		e := <-in
+		if e.Payload.(int) != i {
+			t.Fatalf("out of order: got %v at position %d", e.Payload, i)
+		}
+	}
+}
+
+func TestUnboundedMailboxDoesNotBlockSender(t *testing.T) {
+	n := NewNetwork()
+	defer n.Stop()
+	n.Register(id(0, 1)) // registered but never read until later
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 100000; i++ {
+			n.Send(id(0, 0), id(0, 1), i)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("sender blocked on unread mailbox")
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	n := NewNetwork()
+	defer n.Stop()
+	n.SetLatency(ClusterLatency(0, 50*time.Millisecond))
+	in := n.Register(id(1, 0))
+	start := time.Now()
+	n.Send(id(0, 0), id(1, 0), "x") // inter-cluster
+	<-in
+	if elapsed := time.Since(start); elapsed < 45*time.Millisecond {
+		t.Fatalf("inter-cluster delivery took %v, want >= ~50ms", elapsed)
+	}
+}
+
+func TestClusterLatencyModel(t *testing.T) {
+	f := ClusterLatency(time.Millisecond, 100*time.Millisecond)
+	if d := f(id(0, 0), id(0, 3)); d != time.Millisecond {
+		t.Fatalf("intra-cluster latency = %v", d)
+	}
+	if d := f(id(0, 0), id(1, 0)); d != 100*time.Millisecond {
+		t.Fatalf("inter-cluster latency = %v", d)
+	}
+	// Client links are treated as remote.
+	if d := f(NodeID{Cluster: ClientCluster, Replica: 0}, id(0, 0)); d != 100*time.Millisecond {
+		t.Fatalf("client latency = %v", d)
+	}
+	// Two clients share the pseudo-cluster but are still remote.
+	if d := f(NodeID{Cluster: ClientCluster}, NodeID{Cluster: ClientCluster, Replica: 1}); d != 100*time.Millisecond {
+		t.Fatalf("client-client latency = %v", d)
+	}
+}
+
+func TestFilterDropsSilently(t *testing.T) {
+	n := NewNetwork()
+	defer n.Stop()
+	in := n.Register(id(0, 1))
+	n.SetFilter(func(e Envelope) bool { return e.From != id(0, 2) })
+	n.Send(id(0, 2), id(0, 1), "dropped")
+	n.Send(id(0, 0), id(0, 1), "kept")
+	e := <-in
+	if e.Payload != "kept" {
+		t.Fatalf("filter failed, got %v", e.Payload)
+	}
+	if got := n.Stats.Dropped.Load(); got != 1 {
+		t.Fatalf("Dropped = %d, want 1", got)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	n := NewNetwork()
+	defer n.Stop()
+	var ins []<-chan Envelope
+	var tos []NodeID
+	for r := int32(0); r < 4; r++ {
+		tos = append(tos, id(0, r))
+		ins = append(ins, n.Register(id(0, r)))
+	}
+	n.Broadcast(id(1, 0), tos, "b")
+	for i, in := range ins {
+		select {
+		case <-in:
+		case <-time.After(time.Second):
+			t.Fatalf("replica %d missed broadcast", i)
+		}
+	}
+}
+
+func TestStopCancelsPendingDeliveries(t *testing.T) {
+	n := NewNetwork()
+	n.SetLatency(func(NodeID, NodeID) time.Duration { return 20 * time.Millisecond })
+	in := n.Register(id(0, 1))
+	n.Send(id(0, 0), id(0, 1), "late")
+	n.Stop()
+	// After Stop the mailbox channel must eventually close without panics.
+	deadline := time.After(time.Second)
+	for {
+		select {
+		case _, ok := <-in:
+			if !ok {
+				return
+			}
+		case <-deadline:
+			t.Fatal("mailbox never closed after Stop")
+		}
+	}
+}
+
+func TestConcurrentSendersRace(t *testing.T) {
+	n := NewNetwork()
+	defer n.Stop()
+	in := n.Register(id(0, 0))
+	const senders, perSender = 8, 200
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				n.Send(id(1, int32(s)), id(0, 0), i)
+			}
+		}(s)
+	}
+	wg.Wait()
+	for i := 0; i < senders*perSender; i++ {
+		select {
+		case <-in:
+		case <-time.After(2 * time.Second):
+			t.Fatalf("only %d of %d messages delivered", i, senders*perSender)
+		}
+	}
+}
+
+func TestRegisterTwiceReturnsSameChannel(t *testing.T) {
+	n := NewNetwork()
+	defer n.Stop()
+	a := n.Register(id(0, 0))
+	b := n.Register(id(0, 0))
+	if a != b {
+		t.Fatal("Register is not idempotent")
+	}
+}

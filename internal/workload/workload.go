@@ -1,0 +1,200 @@
+// Package workload generates the transactional YCSB-style load of the
+// paper's evaluation (Sec. 5.1): keys hashed uniformly across clusters,
+// fixed-size values, operations bundled into transactions with
+// configurable read/write counts and local/distributed mixes, read-only
+// transactions reading one key from each of m clusters.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"transedge/internal/protocol"
+)
+
+// Config shapes the generated load.
+type Config struct {
+	Keys      int // total key count (the paper uses 1M)
+	ValueSize int // value payload bytes (the paper uses 256)
+	Clusters  int
+	Seed      int64
+
+	// RW transaction shape (the paper's default: 5 reads, 3 writes
+	// across 5 clusters). Zero selects the default; NoOps (-1) means
+	// explicitly none.
+	ReadOps  int
+	WriteOps int
+	// LocalFraction is the probability that a generated RW transaction
+	// stays within one cluster (the LRWT share of Fig. 14).
+	LocalFraction float64
+
+	// RO transaction shape: ROClusters clusters, ROPerCluster keys read
+	// from each (the paper's default: 1 key from each of 5 clusters).
+	ROClusters   int
+	ROPerCluster int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Keys <= 0 {
+		c.Keys = 10000
+	}
+	if c.ValueSize <= 0 {
+		c.ValueSize = 256
+	}
+	if c.Clusters <= 0 {
+		c.Clusters = 1
+	}
+	if c.ReadOps == 0 {
+		c.ReadOps = 5
+	} else if c.ReadOps < 0 {
+		c.ReadOps = 0
+	}
+	if c.WriteOps == 0 {
+		c.WriteOps = 3
+	} else if c.WriteOps < 0 {
+		c.WriteOps = 0
+	}
+	if c.ROClusters <= 0 || c.ROClusters > c.Clusters {
+		c.ROClusters = c.Clusters
+	}
+	if c.ROPerCluster <= 0 {
+		c.ROPerCluster = 1
+	}
+	return c
+}
+
+// RWTxn is one generated read-write transaction: keys to read and keys to
+// write with fresh payloads.
+type RWTxn struct {
+	ReadKeys  []string
+	WriteKeys []string
+	Value     []byte
+	// Local reports whether all keys share one cluster.
+	Local bool
+}
+
+// Generator produces transactions deterministically from its seed. A
+// Generator is not safe for concurrent use: give each worker its own
+// (same config, distinct seed).
+type Generator struct {
+	cfg       Config
+	part      protocol.Partitioner
+	rng       *rand.Rand
+	byCluster [][]string
+	value     []byte
+}
+
+// New builds a generator.
+func New(cfg Config) *Generator {
+	cfg = cfg.withDefaults()
+	g := &Generator{
+		cfg:  cfg,
+		part: protocol.Partitioner{N: int32(cfg.Clusters)},
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+	}
+	g.byCluster = make([][]string, cfg.Clusters)
+	for i := 0; i < cfg.Keys; i++ {
+		k := Key(i)
+		c := g.part.Of(k)
+		g.byCluster[c] = append(g.byCluster[c], k)
+	}
+	g.value = make([]byte, cfg.ValueSize)
+	for i := range g.value {
+		g.value[i] = byte('a' + i%26)
+	}
+	return g
+}
+
+// NoOps marks an operation count as explicitly zero.
+const NoOps = -1
+
+// Key returns the i-th keyspace key.
+func Key(i int) string { return fmt.Sprintf("user%08d", i) }
+
+// InitialData materializes the whole keyspace with initial payloads.
+func (g *Generator) InitialData() map[string][]byte {
+	data := make(map[string][]byte, g.cfg.Keys)
+	for i := 0; i < g.cfg.Keys; i++ {
+		data[Key(i)] = g.value
+	}
+	return data
+}
+
+// KeysOf returns the keys owned by one cluster.
+func (g *Generator) KeysOf(cluster int32) []string { return g.byCluster[cluster] }
+
+// Value returns the fixed write payload.
+func (g *Generator) Value() []byte { return g.value }
+
+// pickFrom draws n distinct keys from one cluster's keyspace.
+func (g *Generator) pickFrom(cluster int, n int) []string {
+	pool := g.byCluster[cluster]
+	if n > len(pool) {
+		n = len(pool)
+	}
+	out := make([]string, 0, n)
+	seen := make(map[int]bool, n)
+	for len(out) < n {
+		i := g.rng.Intn(len(pool))
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, pool[i])
+		}
+	}
+	return out
+}
+
+// NextRW generates a read-write transaction. Local transactions confine
+// all operations to one random cluster; distributed transactions spread
+// operations over every cluster so each participates (the paper's "each
+// transaction reads or writes some data on each participating cluster").
+func (g *Generator) NextRW() RWTxn {
+	local := g.rng.Float64() < g.cfg.LocalFraction
+	var reads, writes []string
+	if local || g.cfg.Clusters == 1 {
+		c := g.rng.Intn(g.cfg.Clusters)
+		keys := g.pickFrom(c, g.cfg.ReadOps+g.cfg.WriteOps)
+		if len(keys) < g.cfg.ReadOps {
+			reads = keys
+		} else {
+			reads = keys[:g.cfg.ReadOps]
+			writes = keys[g.cfg.ReadOps:]
+		}
+		return RWTxn{ReadKeys: reads, WriteKeys: writes, Value: g.value, Local: true}
+	}
+	// Distributed: round-robin operations over the clusters.
+	for i := 0; i < g.cfg.ReadOps; i++ {
+		c := i % g.cfg.Clusters
+		reads = append(reads, g.pickFrom(c, 1)...)
+	}
+	for i := 0; i < g.cfg.WriteOps; i++ {
+		c := (g.cfg.ReadOps + i) % g.cfg.Clusters
+		writes = append(writes, g.pickFrom(c, 1)...)
+	}
+	return RWTxn{ReadKeys: reads, WriteKeys: writes, Value: g.value, Local: false}
+}
+
+// NextRO generates a read-only transaction's key set: ROPerCluster keys
+// from each of ROClusters clusters.
+func (g *Generator) NextRO() []string {
+	var out []string
+	for c := 0; c < g.cfg.ROClusters; c++ {
+		out = append(out, g.pickFrom(c, g.cfg.ROPerCluster)...)
+	}
+	return out
+}
+
+// NextROScan generates a long-running read-only scan of total keys spread
+// evenly over the configured ROClusters (Fig. 7's 250–2000 read
+// operations).
+func (g *Generator) NextROScan(total int) []string {
+	per := total / g.cfg.ROClusters
+	if per == 0 {
+		per = 1
+	}
+	var out []string
+	for c := 0; c < g.cfg.ROClusters && len(out) < total; c++ {
+		out = append(out, g.pickFrom(c, per)...)
+	}
+	return out
+}

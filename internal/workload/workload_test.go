@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"testing"
+
+	"transedge/internal/protocol"
+)
+
+func TestInitialDataCoversKeyspace(t *testing.T) {
+	g := New(Config{Keys: 500, Clusters: 3, Seed: 1, ValueSize: 16})
+	data := g.InitialData()
+	if len(data) != 500 {
+		t.Fatalf("InitialData has %d keys, want 500", len(data))
+	}
+	for k, v := range data {
+		if len(v) != 16 {
+			t.Fatalf("value for %q has %d bytes, want 16", k, len(v))
+		}
+	}
+}
+
+func TestKeysPartitionedUniformly(t *testing.T) {
+	g := New(Config{Keys: 9000, Clusters: 3, Seed: 1})
+	for c := int32(0); c < 3; c++ {
+		n := len(g.KeysOf(c))
+		if n < 2000 || n > 4000 {
+			t.Fatalf("cluster %d owns %d of 9000 keys; distribution too skewed", c, n)
+		}
+	}
+}
+
+func TestNextRWLocalStaysLocal(t *testing.T) {
+	g := New(Config{Keys: 3000, Clusters: 3, Seed: 2, LocalFraction: 1.0, ReadOps: 3, WriteOps: 2})
+	part := protocol.Partitioner{N: 3}
+	for i := 0; i < 50; i++ {
+		txn := g.NextRW()
+		if !txn.Local {
+			t.Fatal("LocalFraction=1 produced a distributed txn")
+		}
+		owner := part.Of(txn.ReadKeys[0])
+		for _, k := range append(txn.ReadKeys, txn.WriteKeys...) {
+			if part.Of(k) != owner {
+				t.Fatalf("local txn spans clusters: %v %v", txn.ReadKeys, txn.WriteKeys)
+			}
+		}
+	}
+}
+
+func TestNextRWDistributedSpansClusters(t *testing.T) {
+	g := New(Config{Keys: 3000, Clusters: 3, Seed: 3, LocalFraction: 0, ReadOps: 5, WriteOps: 3})
+	part := protocol.Partitioner{N: 3}
+	for i := 0; i < 50; i++ {
+		txn := g.NextRW()
+		if txn.Local {
+			t.Fatal("LocalFraction=0 produced a local txn")
+		}
+		clusters := map[int32]bool{}
+		for _, k := range append(txn.ReadKeys, txn.WriteKeys...) {
+			clusters[part.Of(k)] = true
+		}
+		if len(clusters) < 2 {
+			t.Fatalf("distributed txn touches %d clusters", len(clusters))
+		}
+		if len(txn.ReadKeys) != 5 || len(txn.WriteKeys) != 3 {
+			t.Fatalf("op counts: %d reads %d writes", len(txn.ReadKeys), len(txn.WriteKeys))
+		}
+	}
+}
+
+func TestNextROShape(t *testing.T) {
+	g := New(Config{Keys: 5000, Clusters: 5, Seed: 4, ROClusters: 3, ROPerCluster: 2})
+	part := protocol.Partitioner{N: 5}
+	keys := g.NextRO()
+	if len(keys) != 6 {
+		t.Fatalf("RO txn has %d keys, want 6", len(keys))
+	}
+	perCluster := map[int32]int{}
+	for _, k := range keys {
+		perCluster[part.Of(k)]++
+	}
+	if len(perCluster) != 3 {
+		t.Fatalf("RO txn spans %d clusters, want 3", len(perCluster))
+	}
+}
+
+func TestNextROScanSize(t *testing.T) {
+	g := New(Config{Keys: 5000, Clusters: 5, Seed: 5})
+	keys := g.NextROScan(250)
+	if len(keys) != 250 {
+		t.Fatalf("scan has %d keys, want 250", len(keys))
+	}
+	dedup := map[string]bool{}
+	for _, k := range keys {
+		dedup[k] = true
+	}
+	if len(dedup) != len(keys) {
+		t.Fatal("scan contains duplicate keys")
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	a := New(Config{Keys: 1000, Clusters: 3, Seed: 9})
+	b := New(Config{Keys: 1000, Clusters: 3, Seed: 9})
+	for i := 0; i < 20; i++ {
+		ta, tb := a.NextRW(), b.NextRW()
+		if len(ta.ReadKeys) != len(tb.ReadKeys) {
+			t.Fatal("generators diverged")
+		}
+		for j := range ta.ReadKeys {
+			if ta.ReadKeys[j] != tb.ReadKeys[j] {
+				t.Fatal("generators diverged on keys")
+			}
+		}
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	g := New(Config{})
+	if g.cfg.Keys != 10000 || g.cfg.ValueSize != 256 || g.cfg.ReadOps != 5 {
+		t.Fatalf("defaults not applied: %+v", g.cfg)
+	}
+	txn := g.NextRW()
+	if len(txn.ReadKeys) == 0 {
+		t.Fatal("default generator produced empty txn")
+	}
+}
