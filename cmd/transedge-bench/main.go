@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,10 +27,11 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment ID (fig4..fig15, table1) or 'all'")
+		experiment = flag.String("experiment", "all", "experiment ID (fig4..fig15, table1, pipeline) or 'all'")
 		scaleName  = flag.String("scale", "quick", "quick | paper")
 		duration   = flag.Duration("duration", 0, "override measurement window per point")
 		keys       = flag.Int("keys", 0, "override keyspace size")
+		jsonPath   = flag.String("json", "", "also write all measured points as JSON to this file")
 		list       = flag.Bool("list", false, "list experiment IDs and exit")
 	)
 	flag.Parse()
@@ -59,6 +61,7 @@ func main() {
 	if *experiment == "all" {
 		ids = harness.Order
 	}
+	var all []harness.Point
 	for _, id := range ids {
 		run, ok := harness.Experiments[id]
 		if !ok {
@@ -70,6 +73,18 @@ func main() {
 		points := run(scale)
 		printTable(points)
 		fmt.Printf("-- %s done in %v --\n\n", id, time.Since(start).Round(time.Millisecond))
+		all = append(all, points...)
+	}
+	if *jsonPath != "" {
+		blob, err := json.MarshalIndent(all, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, append(blob, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d points to %s\n", len(all), *jsonPath)
 	}
 }
 

@@ -1,0 +1,3 @@
+module transedge
+
+go 1.24

@@ -2,9 +2,13 @@
 // service that TransEdge layers its batches on (the paper uses
 // BFT-SMaRt [13]; this is an equivalent PBFT-style SMR substrate).
 //
-// Each cluster of n = 3f+1 replicas orders batches one at a time, exactly
-// as the paper requires ("a leader writes a batch only if the previous
-// batch is already written"). The flow per batch is:
+// Each cluster of n = 3f+1 replicas orders batches in sequence-numbered
+// slots. A leader may keep up to MaxInFlight proposals outstanding
+// between Propose and delivery (MaxInFlight = 1 reproduces the paper's
+// "a leader writes a batch only if the previous batch is already
+// written"); delivery is always in strict slot order, so the application
+// observes the same one-batch-at-a-time log either way. The flow per
+// batch is:
 //
 //	leader        --PrePrepare(batch)-->  all replicas
 //	each replica  --Prepare(digest)--->   all replicas   (after validating)
@@ -72,9 +76,17 @@ type Config struct {
 	// genesis batch (the initial data load).
 	GenesisDigest protocol.Digest
 
+	// MaxInFlight bounds how many proposals the leader may have between
+	// Propose and delivery. Values <= 1 give the classic stop-and-wait
+	// pipeline; larger values let the leader chain speculative batches
+	// while predecessors are still in consensus.
+	MaxInFlight int
+
 	// Validate inspects a proposed batch before the replica votes for it.
-	// It runs exactly once per batch ID, in log order. Returning an error
-	// withholds the replica's Prepare vote.
+	// It runs exactly once per batch ID, in log order, but ahead of
+	// delivery: slot k+1 is validated as soon as slot k has been
+	// validated, so the consensus phases of pipelined slots overlap.
+	// Returning an error withholds the replica's Prepare vote.
 	Validate func(*protocol.Batch) error
 	// Deliver receives certified batches in strict log order.
 	Deliver func(protocol.CertifiedBatch)
@@ -120,14 +132,19 @@ type instance struct {
 
 // Replica is one cluster member's consensus engine.
 type Replica struct {
-	cfg         Config
-	self        NodeID
-	peers       []NodeID
-	nextDeliver int64 // next batch ID to validate/deliver
-	instances   map[int64]*instance
+	cfg          Config
+	self         NodeID
+	peers        []NodeID
+	nextDeliver  int64 // next batch ID to deliver
+	nextValidate int64 // next batch ID to validate (runs ahead of delivery)
+	nextPropose  int64 // next slot the leader may propose into
+	instances    map[int64]*instance
 	// pendingPrePrepare buffers proposals that arrived before their turn.
 	pendingPrePrepare map[int64]*PrePrepare
 	lastDigest        protocol.Digest // digest of last delivered batch
+	// lastValidated chains speculative validation: the digest of the
+	// newest validated slot, which the next slot's PrevDigest must match.
+	lastValidated protocol.Digest
 
 	// Equivocation evidence: leader proposals seen per ID.
 	proposedDigest map[int64]protocol.Digest
@@ -140,14 +157,20 @@ type Replica struct {
 // New creates a replica engine. Batch IDs start at 1 (batch 0 is the
 // implicit genesis data load).
 func New(cfg Config) *Replica {
+	if cfg.MaxInFlight < 1 {
+		cfg.MaxInFlight = 1
+	}
 	r := &Replica{
 		cfg:               cfg,
 		self:              NodeID{Cluster: cfg.Cluster, Replica: cfg.Replica},
 		nextDeliver:       1,
+		nextValidate:      1,
+		nextPropose:       1,
 		instances:         make(map[int64]*instance),
 		pendingPrePrepare: make(map[int64]*PrePrepare),
 		proposedDigest:    make(map[int64]protocol.Digest),
 		lastDigest:        cfg.GenesisDigest,
+		lastValidated:     cfg.GenesisDigest,
 	}
 	for i := 0; i < cfg.N; i++ {
 		r.peers = append(r.peers, NodeID{Cluster: cfg.Cluster, Replica: int32(i)})
@@ -162,7 +185,10 @@ const LeaderReplica int32 = 0
 func (r *Replica) IsLeader() bool { return r.cfg.Replica == LeaderReplica }
 
 // NextID returns the ID the next proposed batch must carry.
-func (r *Replica) NextID() int64 { return r.nextDeliver }
+func (r *Replica) NextID() int64 { return r.nextPropose }
+
+// InFlight returns how many proposals are between Propose and delivery.
+func (r *Replica) InFlight() int { return int(r.nextPropose - r.nextDeliver) }
 
 // LastDigest returns the digest of the last delivered batch (zero digest
 // before any delivery), for chaining PrevDigest.
@@ -177,19 +203,25 @@ func (r *Replica) Rejected() int { return int(r.rejected.Load()) }
 
 // Errors.
 var (
-	ErrNotLeader  = errors.New("bft: propose called on non-leader")
-	ErrBadBatchID = errors.New("bft: proposed batch has wrong ID")
+	ErrNotLeader    = errors.New("bft: propose called on non-leader")
+	ErrBadBatchID   = errors.New("bft: proposed batch has wrong ID")
+	ErrPipelineFull = errors.New("bft: MaxInFlight proposals already outstanding")
 )
 
-// Propose starts consensus on the next batch. Only the leader calls this,
-// and only after the previous batch was delivered.
+// Propose starts consensus on the next free slot. Only the leader calls
+// this; up to MaxInFlight proposals may be outstanding at once, and the
+// batch must carry the next sequence number (NextID).
 func (r *Replica) Propose(b *protocol.Batch) error {
 	if !r.IsLeader() {
 		return ErrNotLeader
 	}
-	if b.ID != r.nextDeliver {
-		return fmt.Errorf("%w: got %d, want %d", ErrBadBatchID, b.ID, r.nextDeliver)
+	if b.ID != r.nextPropose {
+		return fmt.Errorf("%w: got %d, want %d", ErrBadBatchID, b.ID, r.nextPropose)
 	}
+	if b.ID >= r.nextDeliver+int64(r.cfg.MaxInFlight) {
+		return fmt.Errorf("%w: %d in flight", ErrPipelineFull, r.InFlight())
+	}
+	r.nextPropose = b.ID + 1
 	if r.cfg.Behavior.TamperBatch != nil {
 		r.cfg.Behavior.TamperBatch(b)
 	}
@@ -274,23 +306,27 @@ func (r *Replica) onPrePrepare(from NodeID, m *PrePrepare) {
 	}
 	r.proposedDigest[b.ID] = d
 
-	if b.ID > r.nextDeliver {
+	if b.ID > r.nextValidate {
 		r.pendingPrePrepare[b.ID] = m
 		return
 	}
 	r.startInstance(m)
 }
 
-// startInstance validates the proposal for the current slot and votes.
+// startInstance validates the proposal for the next slot of the
+// validation chain and votes. Validation runs ahead of delivery: the slot
+// must chain off the newest validated proposal, not the newest delivered
+// one, so a pipelining leader's slots all enter their Prepare phase
+// without waiting for predecessors to commit.
 func (r *Replica) startInstance(m *PrePrepare) {
 	b := m.Batch
 	in := r.inst(b.ID)
-	if in.validated || in.delivered {
+	if in.validated || in.delivered || b.ID != r.nextValidate {
 		return
 	}
-	if b.PrevDigest != r.lastDigest {
+	if b.PrevDigest != r.lastValidated {
 		r.rejected.Add(1)
-		return // does not extend our log
+		return // does not extend our (speculative) log
 	}
 	if r.cfg.Validate != nil {
 		if err := r.cfg.Validate(b); err != nil {
@@ -301,6 +337,8 @@ func (r *Replica) startInstance(m *PrePrepare) {
 	in.batch = b
 	in.digest = b.Digest()
 	in.validated = true
+	r.lastValidated = in.digest
+	r.nextValidate = b.ID + 1
 	r.broadcast(&Prepare{ID: b.ID, Digest: in.digest})
 	// Replay commit votes that raced ahead of the proposal.
 	for rep, c := range in.pendingCommits {
@@ -309,6 +347,11 @@ func (r *Replica) startInstance(m *PrePrepare) {
 	}
 	r.maybeCommit(in)
 	r.maybeDeliver(in)
+	// A buffered proposal for the next slot can be validated right away.
+	if pp, ok := r.pendingPrePrepare[r.nextValidate]; ok {
+		delete(r.pendingPrePrepare, r.nextValidate)
+		r.startInstance(pp)
+	}
 }
 
 func (r *Replica) onPrepare(from NodeID, m *Prepare) {
@@ -416,9 +459,9 @@ func (r *Replica) maybeDeliver(in *instance) {
 		r.cfg.Deliver(protocol.CertifiedBatch{Batch: in.batch, Cert: cert})
 	}
 
-	// A buffered proposal for the next slot can now be processed.
-	if pp, ok := r.pendingPrePrepare[r.nextDeliver]; ok {
-		delete(r.pendingPrePrepare, r.nextDeliver)
-		r.startInstance(pp)
+	// A pipelined successor may already hold its commit quorum; deliver it
+	// now that it is next in line.
+	if next, ok := r.instances[r.nextDeliver]; ok {
+		r.maybeDeliver(next)
 	}
 }

@@ -370,6 +370,84 @@ func TestWithLatencyStillCommits(t *testing.T) {
 	}
 }
 
+// TestProposeWindow exercises the slot-window logic on a standalone
+// replica engine (no event loops): up to MaxInFlight proposals are
+// accepted back-to-back, the next one is refused, and sequence numbers
+// must be consecutive.
+func TestProposeWindow(t *testing.T) {
+	ring := cryptoutil.NewKeyRing()
+	id := NodeID{Cluster: 0, Replica: 0}
+	kp := cryptoutil.DeriveKeyPair(id, 5)
+	ring.Add(id, kp.Public)
+	r := New(Config{
+		Cluster: 0, Replica: 0, N: 4, F: 1,
+		Keys: kp, Ring: ring, Net: transport.NewNetwork(),
+		MaxInFlight: 3,
+	})
+
+	prev := protocol.Digest{}
+	for i := int64(1); i <= 3; i++ {
+		b := testBatch(i, prev)
+		if err := r.Propose(b); err != nil {
+			t.Fatalf("propose %d: %v", i, err)
+		}
+		prev = b.Digest()
+	}
+	if got := r.InFlight(); got != 3 {
+		t.Fatalf("InFlight = %d, want 3", got)
+	}
+	if err := r.Propose(testBatch(4, prev)); !errors.Is(err, ErrPipelineFull) {
+		t.Fatalf("err = %v, want ErrPipelineFull", err)
+	}
+	if err := r.Propose(testBatch(7, prev)); !errors.Is(err, ErrBadBatchID) {
+		t.Fatalf("err = %v, want ErrBadBatchID", err)
+	}
+}
+
+// TestPipelinedProposalsDeliverInOrder proposes MaxInFlight batches
+// back-to-back — without waiting for any delivery — and checks every
+// replica delivers all of them, in order, properly chained and
+// certified.
+func TestPipelinedProposalsDeliverInOrder(t *testing.T) {
+	tc := newTestCluster(t, 1, func(i int32, cfg *Config) { cfg.MaxInFlight = 3 })
+	tc.net.SetLatency(transport.ClusterLatency(2*time.Millisecond, 0))
+
+	prev := protocol.Digest{}
+	batches := make([]*protocol.Batch, 0, 3)
+	for i := int64(1); i <= 3; i++ {
+		b := testBatch(i, prev)
+		if err := tc.propose(b); err != nil {
+			t.Fatalf("pipelined propose %d: %v", i, err)
+		}
+		prev = b.Digest()
+		batches = append(batches, b)
+	}
+
+	if !tc.waitDelivered(3, allReplicas(4), 10*time.Second) {
+		t.Fatal("pipelined batches not delivered at all replicas")
+	}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	for r := int32(0); r < 4; r++ {
+		for i := 0; i < 3; i++ {
+			cb := tc.delivered[r][i]
+			if cb.Batch.ID != int64(i+1) {
+				t.Fatalf("replica %d delivered ID %d at position %d", r, cb.Batch.ID, i)
+			}
+			if cb.Batch.Digest() != batches[i].Digest() {
+				t.Fatalf("replica %d: batch %d content differs from proposal", r, i+1)
+			}
+			if i > 0 && cb.Batch.PrevDigest != tc.delivered[r][i-1].Batch.Digest() {
+				t.Fatalf("replica %d: batch %d does not chain", r, i+1)
+			}
+			d := cb.Batch.Digest()
+			if err := cryptoutil.VerifyCertificate(tc.ring, cb.Cert, d[:], tc.f+1); err != nil {
+				t.Fatalf("replica %d: batch %d certificate invalid: %v", r, i+1, err)
+			}
+		}
+	}
+}
+
 func TestNextIDAdvances(t *testing.T) {
 	tc := newTestCluster(t, 1)
 	if got := tc.replicas[0].NextID(); got != 1 {

@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"transedge/internal/merkle"
 	"transedge/internal/protocol"
 )
 
@@ -227,13 +228,15 @@ func (n *Node) applyDecision(dt *distTxn, m *protocol.CommitDecision) {
 	n.maybeBuildBatch(false)
 }
 
-// frontGroupReady reports whether the oldest prepare group has a decision
-// for every member (Def. 4.1: groups commit or abort strictly in order).
-func (n *Node) frontGroupReady() *group {
-	if len(n.groups) == 0 {
+// frontGroupReady reports whether the oldest prepare group not already
+// committed by an in-flight batch has a decision for every member
+// (Def. 4.1: groups commit or abort strictly in order). skip is the
+// number of front groups consumed by in-flight committed segments.
+func (n *Node) frontGroupReady(skip int) *group {
+	if skip >= len(n.groups) {
 		return nil
 	}
-	g := n.groups[0]
+	g := n.groups[skip]
 	for _, id := range g.ids {
 		dt := n.distTxns[id]
 		if dt == nil || dt.decision == protocol.DecisionPending {
@@ -243,14 +246,44 @@ func (n *Node) frontGroupReady() *group {
 	return g
 }
 
+// specTail returns the state the next speculative batch chains off: the
+// newest spec slot's header and tree, or the last delivered batch when
+// the chain is empty.
+func (n *Node) specTail() (protocol.BatchHeader, *merkle.Tree) {
+	if k := len(n.spec); k > 0 {
+		return n.spec[k-1].header, n.spec[k-1].tree
+	}
+	return n.log[n.lastBatchID()].header, n.curTree
+}
+
+// specGroupsConsumed counts the open prepare groups already committed by
+// batches of the speculative chain.
+func (n *Node) specGroupsConsumed() int {
+	consumed := 0
+	for _, s := range n.spec {
+		consumed += s.groups
+	}
+	return consumed
+}
+
 // maybeBuildBatch assembles and proposes the next batch when the pipeline
-// is free and either the size threshold fired, the flush interval passed,
-// or force is set. Mirrors the paper's event 6 (timer/size trigger).
+// has a free slot and either the size threshold fired, the flush interval
+// passed, or force is set. Mirrors the paper's event 6 (timer/size
+// trigger), except that up to PipelineDepth batches may be in flight at
+// once: each new batch chains PrevDigest, CD vector, LCE, and Merkle tree
+// off the newest speculative slot, so proposal never waits for delivery.
 func (n *Node) maybeBuildBatch(force bool) {
-	if !n.IsLeader() || n.proposing {
+	if !n.IsLeader() {
 		return
 	}
-	ready := n.frontGroupReady()
+	if len(n.spec) >= n.cfg.PipelineDepth {
+		if len(n.pendingLocal)+len(n.pendingPrepared) > 0 {
+			n.Metrics.PipelineStalls++
+		}
+		return
+	}
+	prevHeader, prevTree := n.specTail()
+	ready := n.frontGroupReady(n.specGroupsConsumed())
 	pending := len(n.pendingLocal) + len(n.pendingPrepared)
 	if pending == 0 && ready == nil {
 		return
@@ -259,15 +292,14 @@ func (n *Node) maybeBuildBatch(force bool) {
 		return
 	}
 
-	prev := n.log[n.lastBatchID()]
 	b := &protocol.Batch{
 		Cluster:    n.cfg.Cluster,
-		ID:         n.lastBatchID() + 1,
-		PrevDigest: prev.header.Digest(),
+		ID:         prevHeader.ID + 1,
+		PrevDigest: prevHeader.Digest(),
 		Timestamp:  time.Now().UnixNano(),
 		Local:      n.pendingLocal,
 		Prepared:   n.pendingPrepared,
-		LCE:        prev.header.LCE,
+		LCE:        prevHeader.LCE,
 	}
 
 	// Committed segment: the oldest fully-decided prepare group, whole
@@ -300,31 +332,81 @@ func (n *Node) maybeBuildBatch(force bool) {
 	}
 
 	// Read-only segment: CD vector via Algorithm 1, then the Merkle root
-	// over the post-batch database state.
-	b.CD = n.deriveCD(b)
-	tree := n.applyBatchToTree(n.curTree, b)
+	// over the post-batch database state — both derived from the
+	// speculative predecessor, never the (possibly older) delivered one.
+	b.CD = n.deriveCD(prevHeader.CD, b)
+	tree := n.applyBatchToTree(prevTree, b)
 	b.MerkleRoot = tree.Root()
-	n.proposalTree = tree
-	n.proposalID = b.ID
+
+	slot := &specSlot{batch: b, header: b.Header(), tree: tree}
+	if ready != nil {
+		slot.groups = 1
+	}
 
 	// Reset accumulation; reserved footprints stay until delivery.
 	n.pendingLocal = nil
 	n.pendingPrepared = nil
-	n.proposing = true
 	n.lastFlush = time.Now()
 
 	if err := n.consensus.Propose(b); err != nil {
-		// Cannot happen in a healthy pipeline; drop the batch and let
-		// clients time out rather than crash the replica.
-		n.proposing = false
+		// Cannot happen in a healthy pipeline; abort the batch's
+		// transactions cleanly rather than leak their reservations.
+		n.rollbackBatch(b)
+		return
+	}
+	n.spec = append(n.spec, slot)
+}
+
+// rollbackBatch undoes the admission effects of a speculative batch that
+// will never reach the log: reserved OCC footprints are released, waiting
+// clients receive aborts, and coordinator state for prepares that never
+// became durable is dropped. Committed-segment decisions are left intact
+// in distTxns — the group is still decided and a later batch re-proposes
+// it.
+func (n *Node) rollbackBatch(b *protocol.Batch) {
+	for i := range b.Local {
+		t := &b.Local[i]
+		n.releasePending(t.Reads, t.Writes)
+		n.failWaiter(t.ID, "pipeline rollback")
+	}
+	for i := range b.Prepared {
+		t := &b.Prepared[i].Txn
+		n.releasePending(n.localReads(t), n.localWrites(t))
+		delete(n.pendingEvidence, t.ID)
+		if dt := n.distTxns[t.ID]; dt != nil && dt.prepareBatch < 0 {
+			delete(n.distTxns, t.ID)
+			delete(n.pendingDecisions, t.ID)
+		}
+		n.failWaiter(t.ID, "pipeline rollback")
+	}
+	n.Metrics.PipelineRollbacks++
+}
+
+// rollbackSpec rolls back every speculative slot from index from onward
+// (newest first): once a predecessor fails to reach the log, every
+// successor chained off it is invalid too.
+func (n *Node) rollbackSpec(from int) {
+	for i := len(n.spec) - 1; i >= from; i-- {
+		n.rollbackBatch(n.spec[i].batch)
+		n.spec[i] = nil
+	}
+	n.spec = n.spec[:from]
+}
+
+// failWaiter aborts a waiting client, if any.
+func (n *Node) failWaiter(id protocol.TxnID, reason string) {
+	if ch, ok := n.waiters[id]; ok {
+		delete(n.waiters, id)
+		n.reply(ch, protocol.CommitReply{TxnID: id, Status: protocol.StatusAborted, Reason: reason})
 	}
 }
 
-// deriveCD implements Algorithm 1: fold the previous batch's CD vector
-// with every reported CD vector of the committed segment, then pin the
-// self entry to the new batch ID.
-func (n *Node) deriveCD(b *protocol.Batch) protocol.CDVector {
-	cd := n.log[n.lastBatchID()].header.CD.Clone()
+// deriveCD implements Algorithm 1: fold the predecessor batch's CD vector
+// (speculative for in-flight predecessors, delivered otherwise) with
+// every reported CD vector of the committed segment, then pin the self
+// entry to the new batch ID.
+func (n *Node) deriveCD(base protocol.CDVector, b *protocol.Batch) protocol.CDVector {
+	cd := base.Clone()
 	for i := range b.Committed {
 		rec := &b.Committed[i]
 		if rec.Decision != protocol.DecisionCommit {

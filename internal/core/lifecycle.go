@@ -1,6 +1,7 @@
 package core
 
 import (
+	"transedge/internal/merkle"
 	"transedge/internal/protocol"
 )
 
@@ -12,6 +13,25 @@ import (
 func (n *Node) onDeliver(cb protocol.CertifiedBatch) {
 	b := cb.Batch
 	entry := &logEntry{batch: b, header: b.Header(), cert: cb.Cert}
+
+	// Retire the delivered batch from the speculative chain (the leader's
+	// proposal ring / a follower's validated-ahead slots). If the log
+	// diverged from the leader's chain (a slot delivered content it did
+	// not propose — impossible with a healthy single leader, possible
+	// across leadership changes), every speculative successor chained off
+	// the divergent slot is invalid: roll the whole chain back so
+	// reserved footprints are freed and clients abort instead of hanging.
+	var specTree *merkle.Tree
+	if len(n.spec) > 0 {
+		head := n.spec[0]
+		if head.batch.ID == b.ID && head.header.Digest() == entry.header.Digest() {
+			specTree = head.tree
+			n.spec[0] = nil
+			n.spec = n.spec[1:]
+		} else if n.IsLeader() {
+			n.rollbackSpec(0)
+		}
+	}
 
 	// Apply the batch's write sets to versioned storage.
 	writes := make(map[string][]byte)
@@ -33,13 +53,13 @@ func (n *Node) onDeliver(cb protocol.CertifiedBatch) {
 		n.st.Apply(b.ID, writes)
 	}
 
-	// Install the Merkle version computed during validation.
-	if n.validatedTree != nil && n.validatedBatchID == b.ID {
-		n.curTree = n.validatedTree
+	// Install the Merkle version computed speculatively at proposal
+	// (leader) or validation (followers) time.
+	if specTree != nil {
+		n.curTree = specTree
 	} else {
 		n.curTree = n.applyBatchToTree(n.curTree, b)
 	}
-	n.validatedTree = nil
 	n.trees[b.ID] = n.curTree
 	n.log = append(n.log, entry)
 	n.Metrics.BatchesCommitted++
@@ -158,9 +178,6 @@ func (n *Node) onDeliver(cb protocol.CertifiedBatch) {
 		}
 	}
 
-	if n.IsLeader() {
-		n.proposing = false
-	}
 	n.pruneSnapshots()
 	n.serveParked()
 	if n.IsLeader() {

@@ -45,6 +45,13 @@ type NodeConfig struct {
 	// BatchMaxSize triggers an immediate batch once this many
 	// transactions are pending (the paper's size trigger).
 	BatchMaxSize int
+	// PipelineDepth is how many proposed batches the leader may keep in
+	// flight between proposal and SMR delivery (default
+	// DefaultPipelineDepth; 1 restores the stop-and-wait pipeline where
+	// consensus latency caps commit throughput). Each in-flight batch
+	// chains PrevDigest off its predecessor's speculative header, so
+	// admission and Merkle derivation never block on delivery.
+	PipelineDepth int
 	// FreshnessWindow bounds how far a proposed batch timestamp may
 	// deviate from a validating replica's clock (Sec. 4.4.2). Zero
 	// disables the check.
@@ -109,6 +116,24 @@ type group struct {
 	ids          []protocol.TxnID
 }
 
+// specSlot is one batch of the speculative chain ahead of SMR delivery.
+// On the leader these are proposals in flight between Propose and
+// delivery; on followers they are proposals validated ahead of delivery
+// (consensus validates slot k+1 as soon as slot k validated, so the
+// phases of pipelined slots overlap). The slot keeps everything its
+// successor chains off — the header (PrevDigest, CD vector, LCE) and the
+// post-batch Merkle version — plus what rollback needs to undo if the
+// slot never reaches the log.
+type specSlot struct {
+	batch  *protocol.Batch
+	header protocol.BatchHeader
+	tree   *merkle.Tree
+	// groups is how many open prepare groups this batch's committed
+	// segment consumes (0 or 1); successors skip that many when picking
+	// their own committed segment.
+	groups int
+}
+
 // parkedRO is a second-round read-only request waiting for a dependency
 // batch to commit.
 type parkedRO struct {
@@ -155,16 +180,14 @@ type Node struct {
 	pendingReads    keyRefs // reads reserved by in-progress/in-flight batches
 	pendingWrites   keyRefs // writes reserved by in-progress/in-flight batches
 	waiters         map[protocol.TxnID]chan protocol.CommitReply
-	proposing       bool
 	lastFlush       time.Time
-	// validatedTree caches the tree computed during Validate so delivery
-	// can install it without recomputing.
-	validatedTree    *merkle.Tree
-	validatedBatchID int64
-	// proposalTree/proposalID let the leader skip re-validating its own
-	// proposal (it was derived from the same state moments earlier).
-	proposalTree *merkle.Tree
-	proposalID   int64
+
+	// spec is the speculative chain, oldest first: on the leader up to
+	// PipelineDepth proposals between Propose and delivery, on followers
+	// the batches validated ahead of delivery. Slot i+1 chains off slot
+	// i's speculative header and Merkle tree, so batch construction and
+	// validation never wait for consensus. Delivery pops the front.
+	spec []*specSlot
 
 	parked []parkedRO
 
@@ -191,12 +214,26 @@ type Metrics struct {
 	ROSecondRound      int64
 	ROParkedExpired    int64
 	DecisionsValidated int64
+	// PipelineStalls counts batch-build attempts refused because
+	// PipelineDepth proposals were already in flight.
+	PipelineStalls int64
+	// PipelineRollbacks counts speculative batches rolled back because a
+	// predecessor never reached the log (Propose failure or log
+	// divergence).
+	PipelineRollbacks int64
 }
+
+// DefaultPipelineDepth is how many batches a leader keeps in flight when
+// NodeConfig.PipelineDepth is unset.
+const DefaultPipelineDepth = 4
 
 // NewNode builds (but does not start) a replica.
 func NewNode(cfg NodeConfig) *Node {
 	if cfg.BatchInterval <= 0 {
 		cfg.BatchInterval = time.Millisecond
+	}
+	if cfg.PipelineDepth <= 0 {
+		cfg.PipelineDepth = DefaultPipelineDepth
 	}
 	if cfg.BatchMaxSize <= 0 {
 		cfg.BatchMaxSize = 2000
@@ -247,6 +284,7 @@ func NewNode(cfg NodeConfig) *Node {
 		Net:           cfg.Net,
 		Behavior:      cfg.Behavior,
 		GenesisDigest: genesisDigest,
+		MaxInFlight:   cfg.PipelineDepth,
 		Validate:      n.validateBatch,
 		Deliver:       n.onDeliver,
 	})

@@ -21,6 +21,7 @@ type SystemConfig struct {
 
 	BatchInterval   time.Duration
 	BatchMaxSize    int
+	PipelineDepth   int           // in-flight batches per leader (default DefaultPipelineDepth)
 	IntraLatency    time.Duration // replica-to-replica within a cluster
 	InterLatency    time.Duration // cluster-to-cluster and client links
 	FreshnessWindow time.Duration
@@ -50,6 +51,9 @@ func (c *SystemConfig) withDefaults() SystemConfig {
 	}
 	if out.BatchMaxSize <= 0 {
 		out.BatchMaxSize = 2000
+	}
+	if out.PipelineDepth <= 0 {
+		out.PipelineDepth = DefaultPipelineDepth
 	}
 	if out.ROParkTimeout <= 0 {
 		out.ROParkTimeout = 5 * time.Second
@@ -118,6 +122,7 @@ func NewSystem(cfg SystemConfig) *System {
 				ROBehavior:      cfg.ROByzantine[id],
 				BatchInterval:   cfg.BatchInterval,
 				BatchMaxSize:    cfg.BatchMaxSize,
+				PipelineDepth:   cfg.PipelineDepth,
 				FreshnessWindow: cfg.FreshnessWindow,
 				ROParkTimeout:   cfg.ROParkTimeout,
 				RetainBatches:   cfg.RetainBatches,

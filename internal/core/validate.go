@@ -23,18 +23,33 @@ var (
 // "other replicas ... ensure that the local transactions are in fact
 // allowed to commit using the rules above").
 func (n *Node) validateBatch(b *protocol.Batch) error {
-	// Leader fast path: this is our own freshly-built proposal, already
-	// derived from the very state we would re-check against.
-	if n.IsLeader() && n.proposalTree != nil && n.proposalID == b.ID && n.proposalTree.Root() == b.MerkleRoot {
-		n.validatedTree = n.proposalTree
-		n.validatedBatchID = b.ID
-		return nil
+	// Leader fast path: this is our own speculative proposal, already
+	// derived from the very state we would re-check against. Matching the
+	// full header digest — not just the Merkle root — guarantees the
+	// proposal is bit-for-bit the batch we built.
+	if n.IsLeader() {
+		for _, slot := range n.spec {
+			if slot.batch.ID != b.ID {
+				continue
+			}
+			hdr := b.Header()
+			if slot.header.Digest() == hdr.Digest() {
+				return nil
+			}
+			break
+		}
 	}
+
+	// Validation runs ahead of delivery: the batch is checked against the
+	// state at the end of the speculative chain, not the delivered state,
+	// so pipelined slots validate (and vote) without waiting for their
+	// predecessors to commit.
+	prev, prevTree := n.specTail()
 
 	if b.Cluster != n.cfg.Cluster {
 		return fmt.Errorf("%w: foreign cluster %d", ErrBadBatch, b.Cluster)
 	}
-	if want := n.lastBatchID() + 1; b.ID != want {
+	if want := prev.ID + 1; b.ID != want {
 		return fmt.Errorf("%w: batch ID %d, want %d", ErrBadBatch, b.ID, want)
 	}
 	if len(b.CD) != n.cfg.Clusters {
@@ -52,14 +67,13 @@ func (n *Node) validateBatch(b *protocol.Batch) error {
 		}
 	}
 
-	prev := n.log[n.lastBatchID()].header
-
 	// --- Committed segment: ordering constraint + decision evidence ---
 	if len(b.Committed) > 0 {
-		if len(n.groups) == 0 {
+		groups := n.specGroupView()
+		if len(groups) == 0 {
 			return fmt.Errorf("%w: committed segment without an open prepare group", ErrBadBatch)
 		}
-		g := n.groups[0]
+		g := &groups[0]
 		if len(b.Committed) != len(g.ids) {
 			return fmt.Errorf("%w: committed segment has %d records, oldest group has %d",
 				ErrBadBatch, len(b.Committed), len(g.ids))
@@ -73,11 +87,15 @@ func (n *Node) validateBatch(b *protocol.Batch) error {
 				return fmt.Errorf("%w: committed record %d is %v, group expects %v (Def. 4.1 order)",
 					ErrBadBatch, i, rec.Txn.ID, g.ids[i])
 			}
-			dt := n.distTxns[rec.Txn.ID]
-			if dt == nil {
+			var prepared *protocol.Transaction
+			if g.recs != nil {
+				prepared = &g.recs[i].Txn
+			} else if dt := n.distTxns[rec.Txn.ID]; dt != nil {
+				prepared = &dt.rec.Txn
+			} else {
 				return fmt.Errorf("%w: committed record for unknown %v", ErrBadBatch, rec.Txn.ID)
 			}
-			if protocol.TransactionDigest(&rec.Txn) != protocol.TransactionDigest(&dt.rec.Txn) {
+			if protocol.TransactionDigest(&rec.Txn) != protocol.TransactionDigest(prepared) {
 				return fmt.Errorf("%w: committed record content differs from prepared %v", ErrBadBatch, rec.Txn.ID)
 			}
 			if err := n.validateCommitRecord(rec, b.CommitEvidence[rec.Txn.ID]); err != nil {
@@ -89,13 +107,7 @@ func (n *Node) validateBatch(b *protocol.Batch) error {
 	}
 
 	// --- Local and prepared segments: conflict detection (Def. 3.1) ---
-	env := &conflictEnv{
-		lastWriter:     n.st.LastWriter,
-		pendingReads:   make(keyRefs),
-		pendingWrites:  make(keyRefs),
-		preparedReads:  n.preparedReads,
-		preparedWrites: n.preparedWrites,
-	}
+	env := n.specConflictEnv()
 	for i := range b.Local {
 		t := &b.Local[i]
 		if !t.IsLocal() {
@@ -157,19 +169,120 @@ func (n *Node) validateBatch(b *protocol.Batch) error {
 	}
 
 	// --- Read-only segment: Algorithm 1 and the Merkle root ---
-	wantCD := n.deriveCD(b)
+	wantCD := n.deriveCD(prev.CD, b)
 	for i, x := range wantCD {
 		if b.CD[i] != x {
 			return fmt.Errorf("%w: CD vector %v, want %v", ErrBadSegment, b.CD, wantCD)
 		}
 	}
-	tree := n.applyBatchToTree(n.curTree, b)
+	tree := n.applyBatchToTree(prevTree, b)
 	if tree.Root() != b.MerkleRoot {
 		return fmt.Errorf("%w: merkle root mismatch", ErrBadSegment)
 	}
-	n.validatedTree = tree
-	n.validatedBatchID = b.ID
+
+	// Extend the speculative chain so the next pipelined slot validates
+	// against this batch's post-state. The leader's chain is extended at
+	// proposal time instead (its fast path returned above; reaching here
+	// as leader means the log diverged from our ring, handled at
+	// delivery).
+	if !n.IsLeader() {
+		slot := &specSlot{batch: b, header: b.Header(), tree: tree}
+		if len(b.Committed) > 0 {
+			slot.groups = 1
+		}
+		n.spec = append(n.spec, slot)
+	}
 	return nil
+}
+
+// specGroup is one entry of the prepare-group queue as of the end of the
+// speculative chain: either a delivered group (recs nil; prepared
+// content lives in distTxns) or a group opened by a speculative prepared
+// segment (recs holds the prepare records themselves).
+type specGroup struct {
+	prepareBatch int64
+	ids          []protocol.TxnID
+	recs         []protocol.PrepareRecord
+}
+
+// specGroupView builds the effective prepare-group queue at the end of
+// the speculative chain: delivered groups minus those consumed by
+// speculative committed segments, plus groups opened by speculative
+// prepared segments (Def. 4.1 order is preserved — groups still commit
+// strictly in prepare-batch order).
+func (n *Node) specGroupView() []specGroup {
+	all := make([]specGroup, 0, len(n.groups)+len(n.spec))
+	for _, g := range n.groups {
+		all = append(all, specGroup{prepareBatch: g.prepareBatch, ids: g.ids})
+	}
+	for _, s := range n.spec {
+		if len(s.batch.Prepared) == 0 {
+			continue
+		}
+		sg := specGroup{prepareBatch: s.batch.ID, recs: s.batch.Prepared}
+		for i := range s.batch.Prepared {
+			sg.ids = append(sg.ids, s.batch.Prepared[i].Txn.ID)
+		}
+		all = append(all, sg)
+	}
+	return all[min(n.specGroupsConsumed(), len(all)):]
+}
+
+// specConflictEnv builds the conflict environment as of the end of the
+// speculative chain: the delivered store overlaid with speculative
+// writes, and the prepared footprints adjusted by speculative prepared
+// and committed segments. With an empty chain this is exactly the
+// delivered state.
+func (n *Node) specConflictEnv() *conflictEnv {
+	env := &conflictEnv{
+		lastWriter:     n.st.LastWriter,
+		pendingReads:   make(keyRefs),
+		pendingWrites:  make(keyRefs),
+		preparedReads:  n.preparedReads,
+		preparedWrites: n.preparedWrites,
+	}
+	if len(n.spec) == 0 {
+		return env
+	}
+	writer := make(map[string]int64)
+	prepReads, prepWrites := n.preparedReads.clone(), n.preparedWrites.clone()
+	for _, s := range n.spec {
+		sb := s.batch
+		for i := range sb.Local {
+			for _, w := range sb.Local[i].Writes {
+				writer[w.Key] = sb.ID
+			}
+		}
+		for i := range sb.Committed {
+			rec := &sb.Committed[i]
+			for _, r := range n.localReads(&rec.Txn) {
+				prepReads.release(r.Key)
+			}
+			for _, w := range n.localWrites(&rec.Txn) {
+				prepWrites.release(w.Key)
+				if rec.Decision == protocol.DecisionCommit {
+					writer[w.Key] = sb.ID
+				}
+			}
+		}
+		for i := range sb.Prepared {
+			t := &sb.Prepared[i].Txn
+			for _, r := range n.localReads(t) {
+				prepReads.add(r.Key)
+			}
+			for _, w := range n.localWrites(t) {
+				prepWrites.add(w.Key)
+			}
+		}
+	}
+	env.lastWriter = func(key string) int64 {
+		if v, ok := writer[key]; ok {
+			return v
+		}
+		return n.st.LastWriter(key)
+	}
+	env.preparedReads, env.preparedWrites = prepReads, prepWrites
+	return env
 }
 
 // validateCommitRecord checks one committed-segment record against its

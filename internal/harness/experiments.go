@@ -399,25 +399,70 @@ func Table1(s Scale) []Point {
 	return out
 }
 
+// Pipeline — commit throughput across leader pipeline depths. With depth
+// 1 (the paper's one-batch-at-a-time rule) every batch waits out a full
+// consensus round before the next proposal, so consensus latency caps
+// commit throughput; deeper pipelines keep PipelineDepth speculative
+// batches in flight. Local transactions under a closed loop with a
+// non-trivial intra-cluster latency make the effect visible: per-slot
+// consensus takes ~3 one-way hops, which depth 1 serializes and depth 4
+// overlaps.
+func Pipeline(s Scale) []Point {
+	var out []Point
+	for _, depth := range []int{1, 2, 4} {
+		cfg := s.base()
+		cfg.Protocol = TransEdge
+		cfg.PipelineDepth = depth
+		cfg.Clusters = 2
+		cfg.ROWorkers = 0
+		cfg.RWWorkers = s.RWWorkers * 4
+		cfg.LocalFraction = 1.0
+		// Write-only transactions over cheap client links but expensive
+		// intra-cluster hops: commit latency is then dominated by the
+		// consensus rounds the pipeline does (depth 1) or does not
+		// (depth 4) serialize. The hops are deliberately long relative to
+		// the per-batch CPU cost (signatures, Merkle updates) so the
+		// experiment measures pipeline stalls, not crypto throughput, and
+		// the batch interval bounds the batch rate so deeper pipelines
+		// don't degenerate into thousands of tiny batches.
+		cfg.ReadOps = NoOps
+		cfg.WriteOps = 3
+		cfg.IntraLatency = 80 * s.LatencyUnit
+		cfg.InterLatency = 4 * s.LatencyUnit
+		cfg.BatchInterval = 20 * s.LatencyUnit
+		cfg.Duration = s.Duration * 2
+		r := Run(cfg)
+		out = append(out, Point{
+			Experiment: "pipeline", Series: "TransEdge",
+			X:             fmt.Sprintf("depth=%d", depth),
+			ThroughputTPS: r.RW.Throughput, LatencyMS: ms(r.RW.Mean),
+			P99MS: ms(r.RW.P99), AbortPct: r.RW.AbortPct(),
+		})
+	}
+	return out
+}
+
 // Experiments maps experiment IDs to their runners, for the CLI.
 var Experiments = map[string]func(Scale) []Point{
-	"fig4":   Fig4,
-	"fig5":   Fig5,
-	"fig6":   Fig6,
-	"fig7":   Fig7,
-	"fig8":   Fig8,
-	"fig10":  Fig10and11,
-	"fig11":  Fig10and11,
-	"fig9":   Fig9,
-	"fig12":  Fig12,
-	"fig13":  Fig13,
-	"fig14":  Fig14,
-	"fig15":  Fig15,
-	"table1": Table1,
+	"fig4":     Fig4,
+	"fig5":     Fig5,
+	"fig6":     Fig6,
+	"fig7":     Fig7,
+	"fig8":     Fig8,
+	"fig10":    Fig10and11,
+	"fig11":    Fig10and11,
+	"fig9":     Fig9,
+	"fig12":    Fig12,
+	"fig13":    Fig13,
+	"fig14":    Fig14,
+	"fig15":    Fig15,
+	"table1":   Table1,
+	"pipeline": Pipeline,
 }
 
 // Order lists experiments in paper order for -experiment all.
 var Order = []string{
 	"fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 	"fig10", "fig12", "fig13", "fig14", "fig15", "table1",
+	"pipeline",
 }

@@ -45,6 +45,9 @@ type Config struct {
 
 	BatchInterval time.Duration
 	BatchMaxSize  int
+	// PipelineDepth is the leader's in-flight batch window (0 = the
+	// system default; 1 = the paper's one-batch-at-a-time pipeline).
+	PipelineDepth int
 	IntraLatency  time.Duration
 	InterLatency  time.Duration
 
@@ -229,6 +232,7 @@ func runTransEdgeLike(cfg Config) Result {
 		Seed:          uint64(cfg.Seed),
 		BatchInterval: cfg.BatchInterval,
 		BatchMaxSize:  cfg.BatchMaxSize,
+		PipelineDepth: cfg.PipelineDepth,
 		IntraLatency:  cfg.IntraLatency,
 		InterLatency:  cfg.InterLatency,
 		InitialData:   gen.InitialData(),

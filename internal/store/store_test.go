@@ -110,6 +110,105 @@ func TestPrune(t *testing.T) {
 	}
 }
 
+// TestPruneBoundary pins the exact prune-boundary semantics: a key whose
+// last write happened strictly before keepFrom keeps exactly the version
+// visible at keepFrom, snapshot reads at and after keepFrom stay exact,
+// and reads strictly below the kept version's batch report not-found.
+func TestPruneBoundary(t *testing.T) {
+	s := New()
+	s.Load(map[string][]byte{"cold": []byte("v0"), "hot": []byte("v0")})
+	// cold is written at batches 2 and 4; hot at every batch 1..8.
+	for i := int64(1); i <= 8; i++ {
+		w := map[string][]byte{"hot": []byte(fmt.Sprintf("h%d", i))}
+		if i == 2 || i == 4 {
+			w["cold"] = []byte(fmt.Sprintf("c%d", i))
+		}
+		s.Apply(i, w)
+	}
+	s.Prune(6)
+
+	// Reads exactly at keepFrom: cold's visible version is c4 (written
+	// before the boundary), hot's is h6 (written at the boundary).
+	if v, w, ok := s.GetAsOf("cold", 6); !ok || string(v) != "c4" || w != 4 {
+		t.Fatalf("GetAsOf(cold, 6) = %q@%d %v, want c4@4", v, w, ok)
+	}
+	if v, w, ok := s.GetAsOf("hot", 6); !ok || string(v) != "h6" || w != 6 {
+		t.Fatalf("GetAsOf(hot, 6) = %q@%d %v, want h6@6", v, w, ok)
+	}
+	// cold retains exactly one version (c4); its history below is gone.
+	if got := s.VersionCount("cold"); got != 1 {
+		t.Fatalf("VersionCount(cold) = %d, want 1", got)
+	}
+	// Snapshots between the kept version and the boundary still resolve
+	// (the kept version was visible there too)...
+	if v, _, ok := s.GetAsOf("cold", 5); !ok || string(v) != "c4" {
+		t.Fatalf("GetAsOf(cold, 5) = %q %v, want c4", v, ok)
+	}
+	// ...but snapshots before the kept version's batch are unservable.
+	if _, _, ok := s.GetAsOf("cold", 3); ok {
+		t.Fatal("GetAsOf(cold, 3) served a pruned snapshot")
+	}
+	// Later snapshots and the latest read are unaffected.
+	if v, _, ok := s.GetAsOf("hot", 7); !ok || string(v) != "h7" {
+		t.Fatalf("GetAsOf(hot, 7) = %q %v, want h7", v, ok)
+	}
+	if v, w, ok := s.Get("hot"); !ok || string(v) != "h8" || w != 8 {
+		t.Fatalf("Get(hot) = %q@%d %v, want h8@8", v, w, ok)
+	}
+	// Pruning is idempotent at the same boundary.
+	s.Prune(6)
+	if v, _, ok := s.GetAsOf("cold", 6); !ok || string(v) != "c4" {
+		t.Fatalf("after re-prune, GetAsOf(cold, 6) = %q %v, want c4", v, ok)
+	}
+}
+
+// TestPruneThenApplySameBatchOverwrite combines the two edge cases: after
+// pruning, a same-batch overwrite must replace in place (never append a
+// duplicate version) and historical snapshots at the prune boundary must
+// be unaffected by the overwrite.
+func TestPruneThenApplySameBatchOverwrite(t *testing.T) {
+	s := New()
+	s.Load(map[string][]byte{"k": []byte("v0")})
+	for i := int64(1); i <= 5; i++ {
+		s.Apply(i, map[string][]byte{"k": []byte(fmt.Sprintf("v%d", i))})
+	}
+	s.Prune(3)
+
+	s.Apply(6, map[string][]byte{"k": []byte("first")})
+	s.Apply(6, map[string][]byte{"k": []byte("second")})
+	if v, w, _ := s.Get("k"); string(v) != "second" || w != 6 {
+		t.Fatalf("Get = %q@%d, want second@6", v, w)
+	}
+	// Versions: v3 (kept boundary version), v4, v5, and one slot for
+	// batch 6 — the overwrite must not have appended a second.
+	if got := s.VersionCount("k"); got != 4 {
+		t.Fatalf("VersionCount = %d, want 4", got)
+	}
+	if v, _, ok := s.GetAsOf("k", 3); !ok || string(v) != "v3" {
+		t.Fatalf("GetAsOf(3) = %q %v, want v3", v, ok)
+	}
+	if v, _, ok := s.GetAsOf("k", 5); !ok || string(v) != "v5" {
+		t.Fatalf("GetAsOf(5) = %q %v, want v5", v, ok)
+	}
+}
+
+// TestApplySameBatchNewKey: a same-batch overwrite of a key whose first
+// ever version is in that batch must also replace in place.
+func TestApplySameBatchNewKey(t *testing.T) {
+	s := New()
+	s.Apply(1, map[string][]byte{"fresh": []byte("a")})
+	s.Apply(1, map[string][]byte{"fresh": []byte("b")})
+	if got := s.VersionCount("fresh"); got != 1 {
+		t.Fatalf("VersionCount = %d, want 1", got)
+	}
+	if v, w, ok := s.GetAsOf("fresh", 1); !ok || string(v) != "b" || w != 1 {
+		t.Fatalf("GetAsOf(1) = %q@%d %v, want b@1", v, w, ok)
+	}
+	if _, _, ok := s.GetAsOf("fresh", 0); ok {
+		t.Fatal("GetAsOf(0) found a value before the key existed")
+	}
+}
+
 func TestConcurrentReadersAndWriter(t *testing.T) {
 	s := New()
 	s.Load(map[string][]byte{"k": []byte("v0")})

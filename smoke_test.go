@@ -1,0 +1,104 @@
+package bench_test
+
+import (
+	"testing"
+
+	"transedge/transedge"
+)
+
+// TestSmoke boots a two-cluster deployment through the public API,
+// commits one local and one distributed read-write transaction, and
+// verifies both through a snapshot read-only transaction. It runs in
+// short mode so `go test -short .` exercises the full stack in well
+// under a second.
+func TestSmoke(t *testing.T) {
+	sys, err := transedge.Start(transedge.Options{
+		Clusters: 2,
+		F:        1,
+		Seed:     7,
+		InitialData: map[string][]byte{
+			"alice": []byte("100"), "bob": []byte("50"),
+			"carol": []byte("30"), "dave": []byte("80"),
+			"erin": []byte("10"), "frank": []byte("20"),
+			"grace": []byte("60"), "heidi": []byte("90"),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Stop()
+
+	// Find one key pair within a single partition (a local transaction)
+	// and one spanning both (a distributed 2PC transaction), with all
+	// four keys distinct.
+	keys := []string{"alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi"}
+	var localA, localB, distA, distB string
+	for _, a := range keys {
+		for _, b := range keys {
+			if a != b && sys.PartitionOf(a) == sys.PartitionOf(b) {
+				localA, localB = a, b
+				break
+			}
+		}
+		if localA != "" {
+			break
+		}
+	}
+	for _, a := range keys {
+		if a == localA || a == localB {
+			continue
+		}
+		for _, b := range keys {
+			if b == a || b == localA || b == localB {
+				continue
+			}
+			if sys.PartitionOf(a) != sys.PartitionOf(b) {
+				distA, distB = a, b
+				break
+			}
+		}
+		if distA != "" {
+			break
+		}
+	}
+	if localA == "" || distA == "" {
+		t.Fatalf("seed keys do not cover both txn shapes: %v", keys)
+	}
+
+	c := sys.NewClient()
+
+	localTxn := c.Begin()
+	if _, err := localTxn.Read(localA); err != nil {
+		t.Fatalf("local read %s: %v", localA, err)
+	}
+	localTxn.Write(localA, []byte("local-1"))
+	localTxn.Write(localB, []byte("local-2"))
+	if err := localTxn.Commit(); err != nil {
+		t.Fatalf("local commit: %v", err)
+	}
+
+	distTxn := c.Begin()
+	if _, err := distTxn.Read(distA); err != nil {
+		t.Fatalf("distributed read %s: %v", distA, err)
+	}
+	if _, err := distTxn.Read(distB); err != nil {
+		t.Fatalf("distributed read %s: %v", distB, err)
+	}
+	distTxn.Write(distA, []byte("dist-1"))
+	distTxn.Write(distB, []byte("dist-2"))
+	if err := distTxn.Commit(); err != nil {
+		t.Fatalf("distributed commit: %v", err)
+	}
+
+	// A verified snapshot must observe both committed transactions.
+	snap, err := c.ReadOnly([]string{localA, localB, distA, distB})
+	if err != nil {
+		t.Fatalf("read-only: %v", err)
+	}
+	want := map[string]string{localA: "local-1", localB: "local-2", distA: "dist-1", distB: "dist-2"}
+	for k, v := range want {
+		if got := string(snap.Values[k]); got != v {
+			t.Errorf("snapshot %s = %q, want %q", k, got, v)
+		}
+	}
+}

@@ -59,6 +59,11 @@ type Options struct {
 	// BatchMaxSize triggers an immediate batch at this many pending
 	// transactions (default 2000).
 	BatchMaxSize int
+	// PipelineDepth is how many batches a cluster leader may keep in
+	// flight between proposal and consensus delivery (default 4). Depth 1
+	// restores the stop-and-wait pipeline, where consensus latency caps
+	// commit throughput.
+	PipelineDepth int
 
 	// IntraClusterLatency and InterClusterLatency shape the simulated
 	// network (defaults: zero).
@@ -107,6 +112,7 @@ func Start(opts Options) (*System, error) {
 		Seed:            opts.Seed,
 		BatchInterval:   opts.BatchInterval,
 		BatchMaxSize:    opts.BatchMaxSize,
+		PipelineDepth:   opts.PipelineDepth,
 		IntraLatency:    opts.IntraClusterLatency,
 		InterLatency:    opts.InterClusterLatency,
 		FreshnessWindow: opts.FreshnessWindow,
