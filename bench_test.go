@@ -11,10 +11,14 @@
 package bench_test
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
+	"transedge/internal/cryptoutil"
 	"transedge/internal/harness"
+	"transedge/internal/merkle"
+	"transedge/internal/protocol"
 )
 
 // benchScale trims the Quick scale further so the whole suite finishes in
@@ -232,6 +236,118 @@ func BenchmarkFig15FaultToleranceSweep(b *testing.B) {
 		b.ReportMetric(f1.ThroughputTPS, "tps_f1")
 		b.ReportMetric(f3.ThroughputTPS, "tps_f3")
 	}
+}
+
+// --- Hot-path microbenchmarks (standalone regression numbers for the
+// per-slot CPU work every pipelined consensus step pays; the hotpath
+// harness experiment measures their end-to-end effect). ---
+
+// benchBatch builds a batch shaped like a busy leader's: n local
+// write-only transactions of 3 writes each.
+func benchBatch(n int) *protocol.Batch {
+	b := &protocol.Batch{Cluster: 0, ID: 1, Timestamp: 1, CD: protocol.NewCDVector(2)}
+	for i := 0; i < n; i++ {
+		txn := protocol.Transaction{ID: protocol.MakeTxnID(1, uint32(i)), Partitions: []int32{0}}
+		for w := 0; w < 3; w++ {
+			txn.Writes = append(txn.Writes, protocol.WriteOp{
+				Key:   fmt.Sprintf("key-%d-%d", i, w),
+				Value: make([]byte, 64),
+			})
+		}
+		b.Local = append(b.Local, txn)
+	}
+	return b
+}
+
+// BenchmarkBatchDigest — the cost of the four digest reads every batch
+// pays across its consensus lifetime (leader sign, follower pre-prepare,
+// validation, delivery): recompute re-derives the header each time (the
+// pre-memoization behavior), memoized computes once per sealed batch.
+func BenchmarkBatchDigest(b *testing.B) {
+	const digestReadsPerBatch = 4
+	batch := benchBatch(200)
+	b.Run("recompute", func(b *testing.B) {
+		protocol.SetDigestMemo(false)
+		defer protocol.SetDigestMemo(true)
+		sealed := batch.MutableCopy().Seal()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < digestReadsPerBatch; r++ {
+				_ = sealed.Digest()
+			}
+		}
+	})
+	b.Run("memoized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sealed := batch.MutableCopy().Seal()
+			for r := 0; r < digestReadsPerBatch; r++ {
+				_ = sealed.Digest()
+			}
+		}
+	})
+}
+
+// BenchmarkVerifyCertificate — an f=3 cluster's certificate carrying all
+// 10 commit signatures, verified at threshold f+1=4: legacy checks every
+// signature serially, fast stops at the threshold and fans out across
+// the worker pool.
+func BenchmarkVerifyCertificate(b *testing.B) {
+	ring := cryptoutil.NewKeyRing()
+	msg := []byte("benchmark-digest-benchmark-digest")
+	cert := cryptoutil.Certificate{Cluster: 0}
+	for i := int32(0); i < 10; i++ {
+		id := cryptoutil.NodeID{Cluster: 0, Replica: i}
+		kp := cryptoutil.DeriveKeyPair(id, 7)
+		ring.Add(id, kp.Public)
+		cert.Signatures = append(cert.Signatures, cryptoutil.SignCertificate(kp, id, msg))
+	}
+	const threshold = 4
+	b.Run("legacy", func(b *testing.B) {
+		cryptoutil.SetFastVerify(false)
+		defer cryptoutil.SetFastVerify(true)
+		for i := 0; i < b.N; i++ {
+			if err := cryptoutil.VerifyCertificate(ring, cert, msg, threshold); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fast", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := cryptoutil.VerifyCertificate(ring, cert, msg, threshold); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMerkleApply — applying a 100-key batch to a 5000-key tree:
+// old inserts keys one at a time (re-hashing the root path per key),
+// bulk merges the sorted batch in one pass. hashes/op reports the node
+// hashes per apply, the quantity the optimization shrinks.
+func BenchmarkMerkleApply(b *testing.B) {
+	base := merkle.New()
+	for i := 0; i < 5000; i++ {
+		base = base.Insert([]byte(fmt.Sprintf("base-%d", i)), merkle.HashValue([]byte("v")))
+	}
+	updates := make(map[string]merkle.Digest, 100)
+	for i := 0; i < 100; i++ {
+		updates[fmt.Sprintf("update-%d", i)] = merkle.HashValue([]byte("w"))
+	}
+	run := func(b *testing.B) {
+		start := merkle.HashOps()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = base.Apply(updates)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(merkle.HashOps()-start)/float64(b.N), "hashes/op")
+	}
+	b.Run("old", func(b *testing.B) {
+		merkle.SetBulkApply(false)
+		defer merkle.SetBulkApply(true)
+		run(b)
+	})
+	b.Run("bulk", run)
 }
 
 // BenchmarkTable1ReadOnlyInterference — read-write aborts caused by

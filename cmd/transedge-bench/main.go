@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment ID (fig4..fig15, table1, pipeline) or 'all'")
+		experiment = flag.String("experiment", "all", "experiment ID (fig4..fig15, table1, pipeline, hotpath) or 'all'")
 		scaleName  = flag.String("scale", "quick", "quick | paper")
 		duration   = flag.Duration("duration", 0, "override measurement window per point")
 		keys       = flag.Int("keys", 0, "override keyspace size")

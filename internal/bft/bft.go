@@ -33,6 +33,7 @@
 package bft
 
 import (
+	"crypto/ed25519"
 	"errors"
 	"fmt"
 	"sort"
@@ -223,18 +224,29 @@ func (r *Replica) Propose(b *protocol.Batch) error {
 	}
 	r.nextPropose = b.ID + 1
 	if r.cfg.Behavior.TamperBatch != nil {
+		// Mutating a proposal must never happen behind a sealed batch's
+		// cached digest: the caller (the leader's core) may hold the
+		// original in its speculative chain. Tampering therefore works on
+		// a memo-detached copy; the injected function must copy any
+		// segment slice it mutates (see DESIGN.md, "Digest memoization").
+		b = b.MutableCopy()
 		r.cfg.Behavior.TamperBatch(b)
 	}
 	if r.cfg.Behavior.Equivocate {
 		// Byzantine leader: different content per replica.
 		for i, peer := range r.peers {
-			forged := *b
+			forged := b.MutableCopy()
 			forged.Timestamp = b.Timestamp + int64(i)
+			forged.Seal()
 			d := forged.Digest()
-			r.send(peer, &PrePrepare{Batch: &forged, LeaderSig: r.cfg.Keys.Sign(d[:])})
+			r.send(peer, &PrePrepare{Batch: forged, LeaderSig: r.cfg.Keys.Sign(d[:])})
 		}
 		return nil
 	}
+	// Seal before broadcast: the digest computed here for the leader's
+	// signature is the one every replica (and the leader's own validation
+	// and delivery steps) will reuse.
+	b.Seal()
 	d := b.Digest()
 	pp := &PrePrepare{Batch: b, LeaderSig: r.cfg.Keys.Sign(d[:])}
 	for _, peer := range r.peers {
@@ -340,11 +352,7 @@ func (r *Replica) startInstance(m *PrePrepare) {
 	r.lastValidated = in.digest
 	r.nextValidate = b.ID + 1
 	r.broadcast(&Prepare{ID: b.ID, Digest: in.digest})
-	// Replay commit votes that raced ahead of the proposal.
-	for rep, c := range in.pendingCommits {
-		delete(in.pendingCommits, rep)
-		r.acceptCommit(in, NodeID{Cluster: r.cfg.Cluster, Replica: rep}, c)
-	}
+	r.replayPendingCommits(in)
 	r.maybeCommit(in)
 	r.maybeDeliver(in)
 	// A buffered proposal for the next slot can be validated right away.
@@ -352,6 +360,48 @@ func (r *Replica) startInstance(m *PrePrepare) {
 		delete(r.pendingPrePrepare, r.nextValidate)
 		r.startInstance(pp)
 	}
+}
+
+// replayPendingCommits re-checks commit votes that arrived before this
+// replica validated the proposal. Pipelined slots make these bursts
+// common — peers race whole consensus phases ahead — so the buffered
+// votes' certificate signatures are verified concurrently (they are
+// independent Ed25519 checks) before the results are applied serially.
+func (r *Replica) replayPendingCommits(in *instance) {
+	if len(in.pendingCommits) == 0 {
+		return
+	}
+	reps := make([]int32, 0, len(in.pendingCommits))
+	checks := make([]cryptoutil.SigCheck, 0, len(in.pendingCommits))
+	for rep, c := range in.pendingCommits {
+		delete(in.pendingCommits, rep)
+		pub, ok := r.vetCommit(in, NodeID{Cluster: r.cfg.Cluster, Replica: rep}, c)
+		if !ok {
+			continue
+		}
+		reps = append(reps, rep)
+		checks = append(checks, cryptoutil.SigCheck{Pub: pub, Msg: c.Digest[:], Sig: c.CertSig})
+	}
+	for i, ok := range cryptoutil.VerifyEach(checks) {
+		if ok {
+			in.commits[reps[i]] = checks[i].Sig
+		}
+	}
+}
+
+// vetCommit runs the cheap acceptance checks shared by the direct and
+// buffered-replay commit paths — digest match and signer lookup —
+// returning the key for the (expensive) signature verification each path
+// schedules its own way.
+func (r *Replica) vetCommit(in *instance, from NodeID, m *Commit) (ed25519.PublicKey, bool) {
+	if m.Digest != in.digest {
+		return nil, false
+	}
+	pub := r.cfg.Ring.PublicKey(from)
+	if pub == nil {
+		return nil, false
+	}
+	return pub, true
 }
 
 func (r *Replica) onPrepare(from NodeID, m *Prepare) {
@@ -413,11 +463,8 @@ func (r *Replica) onCommit(from NodeID, m *Commit) {
 // Only votes whose certificate signature actually verifies are counted —
 // corrupt signatures must never reach the assembled certificate.
 func (r *Replica) acceptCommit(in *instance, from NodeID, m *Commit) {
-	if m.Digest != in.digest {
-		return
-	}
-	pub := r.cfg.Ring.PublicKey(from)
-	if pub == nil || !cryptoutil.Verify(pub, m.Digest[:], m.CertSig) {
+	pub, ok := r.vetCommit(in, from, m)
+	if !ok || !cryptoutil.Verify(pub, m.Digest[:], m.CertSig) {
 		return
 	}
 	in.commits[from.Replica] = m.CertSig

@@ -312,8 +312,15 @@ func TestContentValidationBlocksMaliciousLeader(t *testing.T) {
 		}
 		return nil
 	}
+	// Tamper functions receive a memo-detached shallow copy and must
+	// copy any segment slice they mutate: the original batch may sit in
+	// the leader core's speculative chain behind its cached digest.
 	tamper := func(b *protocol.Batch) {
-		b.Local[0].Writes[0].Value = []byte("evil")
+		local := append([]protocol.Transaction(nil), b.Local...)
+		writes := append([]protocol.WriteOp(nil), local[0].Writes...)
+		writes[0].Value = []byte("evil")
+		local[0].Writes = writes
+		b.Local = local
 	}
 	tc := newTestCluster(t, 1, withValidate(reject), withBehavior(0, Behavior{TamperBatch: tamper}))
 	if err := tc.propose(testBatch(1, protocol.Digest{})); err != nil {

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -63,6 +64,38 @@ type Client struct {
 	self NodeID
 	seq  atomic.Uint32
 	rng  *rand.Rand
+
+	// certSeen memoizes batch-header digests whose certificates already
+	// verified: read-only transactions under load repeatedly fetch the
+	// same head batch per partition, and each certificate check costs
+	// threshold Ed25519 verifications. Certificate validity for a given
+	// header digest never changes, so a hit skips the whole check (the
+	// freshness bound is still enforced per reply).
+	certMu   sync.Mutex
+	certSeen map[cryptoutil.Digest]struct{}
+}
+
+// certCacheLimit bounds certSeen; long-lived clients reset rather than
+// grow without bound.
+const certCacheLimit = 4096
+
+// certVerified reports whether the header digest's certificate was
+// already verified by this client.
+func (c *Client) certVerified(d cryptoutil.Digest) bool {
+	c.certMu.Lock()
+	defer c.certMu.Unlock()
+	_, ok := c.certSeen[d]
+	return ok
+}
+
+// rememberCert records a verified certificate's header digest.
+func (c *Client) rememberCert(d cryptoutil.Digest) {
+	c.certMu.Lock()
+	defer c.certMu.Unlock()
+	if len(c.certSeen) >= certCacheLimit {
+		c.certSeen = make(map[cryptoutil.Digest]struct{}, certCacheLimit)
+	}
+	c.certSeen[d] = struct{}{}
 }
 
 // New creates a client. The client registers no mailbox: replies arrive on
@@ -78,9 +111,10 @@ func New(cfg Config) *Client {
 		cfg.ROTarget = func(c int32) NodeID { return NodeID{Cluster: c, Replica: 0} }
 	}
 	return &Client{
-		cfg:  cfg,
-		self: NodeID{Cluster: transport.ClientCluster, Replica: int32(cfg.ID)},
-		rng:  rand.New(rand.NewSource(cfg.Seed ^ int64(cfg.ID))),
+		cfg:      cfg,
+		self:     NodeID{Cluster: transport.ClientCluster, Replica: int32(cfg.ID)},
+		rng:      rand.New(rand.NewSource(cfg.Seed ^ int64(cfg.ID))),
+		certSeen: make(map[cryptoutil.Digest]struct{}),
 	}
 }
 

@@ -167,8 +167,11 @@ func (c *Client) verifyRO(cluster int32, keys []string, r *protocol.ROReply) (*r
 		return nil, fmt.Errorf("%w: malformed CD vector", ErrVerification)
 	}
 	d := r.Header.Digest()
-	if err := cryptoutil.VerifyCertificate(c.cfg.Ring, r.Cert, d[:], c.threshold(cluster)); err != nil {
-		return nil, fmt.Errorf("%w: certificate: %v", ErrVerification, err)
+	if !c.certVerified(d) {
+		if err := cryptoutil.VerifyCertificate(c.cfg.Ring, r.Cert, d[:], c.threshold(cluster)); err != nil {
+			return nil, fmt.Errorf("%w: certificate: %v", ErrVerification, err)
+		}
+		c.rememberCert(d)
 	}
 	if c.cfg.MaxStaleness > 0 {
 		age := time.Duration(time.Now().UnixNano() - r.Header.Timestamp)

@@ -247,13 +247,16 @@ func (n *Node) frontGroupReady(skip int) *group {
 }
 
 // specTail returns the state the next speculative batch chains off: the
-// newest spec slot's header and tree, or the last delivered batch when
-// the chain is empty.
-func (n *Node) specTail() (protocol.BatchHeader, *merkle.Tree) {
+// newest spec slot's header, header digest, and tree, or the last
+// delivered batch when the chain is empty. The digest rides along so
+// chaining PrevDigest never re-hashes a header.
+func (n *Node) specTail() (protocol.BatchHeader, protocol.Digest, *merkle.Tree) {
 	if k := len(n.spec); k > 0 {
-		return n.spec[k-1].header, n.spec[k-1].tree
+		s := n.spec[k-1]
+		return s.header, s.digest, s.tree
 	}
-	return n.log[n.lastBatchID()].header, n.curTree
+	e := n.log[n.lastBatchID()]
+	return e.header, e.digest, n.curTree
 }
 
 // specGroupsConsumed counts the open prepare groups already committed by
@@ -282,7 +285,7 @@ func (n *Node) maybeBuildBatch(force bool) {
 		}
 		return
 	}
-	prevHeader, prevTree := n.specTail()
+	prevHeader, prevDigest, prevTree := n.specTail()
 	ready := n.frontGroupReady(n.specGroupsConsumed())
 	pending := len(n.pendingLocal) + len(n.pendingPrepared)
 	if pending == 0 && ready == nil {
@@ -295,7 +298,7 @@ func (n *Node) maybeBuildBatch(force bool) {
 	b := &protocol.Batch{
 		Cluster:    n.cfg.Cluster,
 		ID:         prevHeader.ID + 1,
-		PrevDigest: prevHeader.Digest(),
+		PrevDigest: prevDigest,
 		Timestamp:  time.Now().UnixNano(),
 		Local:      n.pendingLocal,
 		Prepared:   n.pendingPrepared,
@@ -338,7 +341,11 @@ func (n *Node) maybeBuildBatch(force bool) {
 	tree := n.applyBatchToTree(prevTree, b)
 	b.MerkleRoot = tree.Root()
 
-	slot := &specSlot{batch: b, header: b.Header(), tree: tree}
+	// The batch is complete: seal it so the header and digest computed
+	// for this slot are the ones reused at leader sign, follower
+	// validation, and delivery.
+	b.Seal()
+	slot := &specSlot{batch: b, header: b.Header(), digest: b.Digest(), tree: tree}
 	if ready != nil {
 		slot.groups = 1
 	}

@@ -12,7 +12,9 @@ import (
 // Fig. 3 all fire "after the batch is written").
 func (n *Node) onDeliver(cb protocol.CertifiedBatch) {
 	b := cb.Batch
-	entry := &logEntry{batch: b, header: b.Header(), cert: cb.Cert}
+	// Header and digest are memoized on the sealed batch: this re-reads
+	// what consensus already computed instead of re-hashing the segments.
+	entry := &logEntry{batch: b, header: b.Header(), digest: b.Digest(), cert: cb.Cert}
 
 	// Retire the delivered batch from the speculative chain (the leader's
 	// proposal ring / a follower's validated-ahead slots). If the log
@@ -24,7 +26,7 @@ func (n *Node) onDeliver(cb protocol.CertifiedBatch) {
 	var specTree *merkle.Tree
 	if len(n.spec) > 0 {
 		head := n.spec[0]
-		if head.batch.ID == b.ID && head.header.Digest() == entry.header.Digest() {
+		if head.batch.ID == b.ID && head.digest == entry.digest {
 			specTree = head.tree
 			n.spec[0] = nil
 			n.spec = n.spec[1:]

@@ -87,10 +87,13 @@ type ROBehavior struct {
 }
 
 // logEntry is one committed batch as retained by a replica: the header,
-// the consensus certificate, and the full batch for segment serving.
+// its digest (the certified message — kept so chaining and serving never
+// re-hash the header), the consensus certificate, and the full batch for
+// segment serving.
 type logEntry struct {
 	batch  *protocol.Batch
 	header protocol.BatchHeader
+	digest protocol.Digest
 	cert   cryptoutil.Certificate
 }
 
@@ -127,6 +130,7 @@ type group struct {
 type specSlot struct {
 	batch  *protocol.Batch
 	header protocol.BatchHeader
+	digest protocol.Digest // memoized header digest, for chaining and delivery matching
 	tree   *merkle.Tree
 	// groups is how many open prepare groups this batch's committed
 	// segment consumes (0 or 1); successors skip that many when picking
@@ -261,19 +265,16 @@ func NewNode(cfg NodeConfig) *Node {
 
 	// Install genesis: initial data load as batch 0.
 	n.st.Load(cfg.InitialData)
-	tree := merkle.New()
-	for k, v := range cfg.InitialData {
-		tree = tree.Insert([]byte(k), merkle.HashValue(v))
-	}
+	tree := newTreeFor(cfg.InitialData)
 	n.curTree = tree
 	n.trees[0] = tree
+	genesisDigest := cfg.GenesisHeader.Digest()
 	n.log = append(n.log, &logEntry{
 		batch:  &protocol.Batch{Cluster: cfg.Cluster, ID: 0, CD: cfg.GenesisHeader.CD.Clone(), LCE: cfg.GenesisHeader.LCE, MerkleRoot: cfg.GenesisHeader.MerkleRoot, Timestamp: cfg.GenesisHeader.Timestamp},
 		header: cfg.GenesisHeader,
+		digest: genesisDigest,
 		cert:   cfg.GenesisCert,
 	})
-
-	genesisDigest := cfg.GenesisHeader.Digest()
 	n.consensus = bft.New(bft.Config{
 		Cluster:       cfg.Cluster,
 		Replica:       cfg.Replica,

@@ -189,13 +189,14 @@ func (s *System) Leader(cluster int32) NodeID { return leaderOf(cluster) }
 // ReplicasPerCluster returns the cluster size.
 func (s *System) ReplicasPerCluster() int { return 3*s.Cfg.F + 1 }
 
-// newTreeFor builds the Merkle tree of an initial data load.
+// newTreeFor builds the Merkle tree of an initial data load in one bulk
+// pass (initial loads are the largest tree builds in the system).
 func newTreeFor(data map[string][]byte) *merkle.Tree {
-	tree := merkle.New()
+	updates := make(map[string]merkle.Digest, len(data))
 	for k, v := range data {
-		tree = tree.Insert([]byte(k), merkle.HashValue(v))
+		updates[k] = merkle.HashValue(v)
 	}
-	return tree
+	return merkle.New().Apply(updates)
 }
 
 // NodeMetrics sums one metric across all replicas via the accessor. Node

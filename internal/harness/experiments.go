@@ -2,7 +2,12 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 	"time"
+
+	"transedge/internal/cryptoutil"
+	"transedge/internal/merkle"
+	"transedge/internal/protocol"
 )
 
 // Scale controls how faithfully an experiment reproduces the paper's
@@ -442,6 +447,75 @@ func Pipeline(s Scale) []Point {
 	return out
 }
 
+// setHotpathOptimizations flips the three headline hot-path
+// optimizations — digest memoization, early-exit certificate
+// verification, bulk Merkle apply — together, so the hotpath experiment
+// can record before ("pre") and after ("post") rows from one binary.
+// Untoggled micro-optimizations (pooled encoder buffers, the client
+// certificate cache) stay on in both modes, so the pre/post gap slightly
+// understates the full distance to the PR-1 build.
+func setHotpathOptimizations(on bool) {
+	protocol.SetDigestMemo(on)
+	cryptoutil.SetFastVerify(on)
+	merkle.SetBulkApply(on)
+}
+
+// Hotpath — before/after sweep of the per-slot CPU hot paths every
+// pipelined batch pays: digest memoization, early-exit/parallel
+// certificate verification, and single-pass bulk Merkle apply. Unlike
+// the pipeline experiment (which stretches network hops so stalls
+// dominate), this point keeps links cheap and batches full so per-batch
+// CPU work — redundant header re-encodes, per-key Merkle path re-hashing
+// — is the bottleneck the rows expose. "pre" disables the three headline
+// optimizations; "post" is the shipped configuration.
+func Hotpath(s Scale) []Point {
+	var out []Point
+	modes := []struct {
+		name string
+		fast bool
+	}{{"pre", false}, {"post", true}}
+	for _, mode := range modes {
+		setHotpathOptimizations(mode.fast)
+		for _, depth := range []int{1, 4} {
+			cfg := s.base()
+			cfg.Protocol = TransEdge
+			cfg.PipelineDepth = depth
+			cfg.Clusters = 2
+			cfg.ROWorkers = 0
+			// Enough closed-loop writers to keep the replicas CPU-bound
+			// despite the long flush interval below.
+			cfg.RWWorkers = s.RWWorkers * 16
+			cfg.LocalFraction = 1.0
+			cfg.ReadOps = NoOps
+			// Wide write sets: every write is one Merkle insert plus its
+			// share of three section encodes on every replica, so the
+			// per-batch CPU cost the overhaul attacks dominates. A cooler
+			// keyspace keeps OCC aborts (and their noise) out of the
+			// throughput signal.
+			cfg.WriteOps = 8
+			cfg.Keys = s.Keys * 10
+			cfg.IntraLatency = 2 * s.LatencyUnit
+			cfg.InterLatency = 2 * s.LatencyUnit
+			// A long flush interval fills batches to hundreds of writes,
+			// amortizing the fixed per-batch signature work that this
+			// overhaul does not target; what remains per transaction is
+			// encoding and Merkle hashing, which it does.
+			cfg.BatchInterval = 200 * s.LatencyUnit
+			cfg.Duration = s.Duration * 4
+			runtime.GC() // level GC debt between points
+			r := Run(cfg)
+			out = append(out, Point{
+				Experiment: "hotpath", Series: mode.name,
+				X:             fmt.Sprintf("depth=%d", depth),
+				ThroughputTPS: r.RW.Throughput, LatencyMS: ms(r.RW.Mean),
+				P99MS: ms(r.RW.P99), AbortPct: r.RW.AbortPct(),
+			})
+		}
+	}
+	setHotpathOptimizations(true)
+	return out
+}
+
 // Experiments maps experiment IDs to their runners, for the CLI.
 var Experiments = map[string]func(Scale) []Point{
 	"fig4":     Fig4,
@@ -458,11 +532,12 @@ var Experiments = map[string]func(Scale) []Point{
 	"fig15":    Fig15,
 	"table1":   Table1,
 	"pipeline": Pipeline,
+	"hotpath":  Hotpath,
 }
 
 // Order lists experiments in paper order for -experiment all.
 var Order = []string{
 	"fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 	"fig10", "fig12", "fig13", "fig14", "fig15", "table1",
-	"pipeline",
+	"pipeline", "hotpath",
 }

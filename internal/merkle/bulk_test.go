@@ -1,0 +1,140 @@
+package merkle
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// applySequential is the reference implementation: one Insert per update.
+func applySequential(t *Tree, updates map[string]Digest) *Tree {
+	out := t
+	for k, vh := range updates {
+		out = out.Insert([]byte(k), vh)
+	}
+	return out
+}
+
+// TestApplyBulkMatchesSequentialProperty: for randomized update sets over
+// randomized base trees — including same-key overwrites, keys already in
+// the base, and empty update sets — the bulk merge produces bit-identical
+// roots and sizes to sequential insertion.
+func TestApplyBulkMatchesSequentialProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		base := New()
+		for i, n := 0, rng.Intn(60); i < n; i++ {
+			base = base.Insert(
+				[]byte(fmt.Sprintf("key-%d", rng.Intn(80))),
+				HashValue([]byte{byte(rng.Intn(256))}),
+			)
+		}
+		updates := make(map[string]Digest)
+		for i, n := 0, rng.Intn(50); i < n; i++ {
+			// Overlapping key ranges provoke overwrites of both base keys
+			// and other updates.
+			updates[fmt.Sprintf("key-%d", rng.Intn(120))] = HashValue([]byte{byte(rng.Intn(256))})
+		}
+		seq := applySequential(base, updates)
+		bulk := base.Apply(updates)
+		if seq.Root() != bulk.Root() {
+			t.Fatalf("trial %d: bulk root differs from sequential (base %d keys, %d updates)",
+				trial, base.Len(), len(updates))
+		}
+		if seq.Len() != bulk.Len() {
+			t.Fatalf("trial %d: bulk size %d, sequential %d", trial, bulk.Len(), seq.Len())
+		}
+		if len(updates) == 0 && bulk != base {
+			t.Fatalf("trial %d: empty update set must return the receiver", trial)
+		}
+		// The base version must be untouched (persistence).
+		if got := applySequential(New(), nil); got.Len() != 0 {
+			t.Fatal("sanity")
+		}
+	}
+}
+
+// TestApplyBulkDuplicateKeysKeepLast: ApplyBulk on a raw update slice with
+// duplicate key hashes keeps the last occurrence, like sequential
+// insertion in slice order.
+func TestApplyBulkDuplicateKeysKeepLast(t *testing.T) {
+	kh := HashKey([]byte("dup"))
+	first, last := HashValue([]byte("first")), HashValue([]byte("last"))
+	got := New().ApplyBulk([]Update{{kh, first}, {kh, last}})
+	want := New().InsertHashed(kh, first).InsertHashed(kh, last)
+	if got.Root() != want.Root() {
+		t.Fatal("duplicate key did not keep the last value")
+	}
+	if got.Len() != 1 {
+		t.Fatalf("size %d after duplicate-key bulk apply, want 1", got.Len())
+	}
+}
+
+// TestApplyBulkProofsVerify: membership and absence proofs issued by
+// bulk-built versions verify against their roots — the bulk merge must
+// produce the same canonical structure the proof verifier assumes.
+func TestApplyBulkProofsVerify(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	base := New()
+	for i := 0; i < 40; i++ {
+		base = base.Insert([]byte(fmt.Sprintf("base-%d", i)), HashValue([]byte("old")))
+	}
+	updates := make(map[string]Digest)
+	values := make(map[string][]byte)
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("bulk-%d", rng.Intn(120))
+		v := []byte(fmt.Sprintf("v-%d", i))
+		updates[k] = HashValue(v)
+		values[k] = v
+	}
+	tree := base.Apply(updates)
+	root := tree.Root()
+	for k, v := range values {
+		proof, vh, err := tree.Prove([]byte(k))
+		if err != nil {
+			t.Fatalf("prove %q: %v", k, err)
+		}
+		if vh != HashValue(v) {
+			t.Fatalf("value hash mismatch for %q", k)
+		}
+		if err := VerifyProof(root, []byte(k), v, proof); err != nil {
+			t.Fatalf("verify %q: %v", k, err)
+		}
+	}
+	for _, absent := range []string{"never-written", "bulk-99999", "base-40"} {
+		ap, err := tree.ProveAbsent([]byte(absent))
+		if err != nil {
+			t.Fatalf("prove absent %q: %v", absent, err)
+		}
+		if err := VerifyAbsence(root, []byte(absent), ap); err != nil {
+			t.Fatalf("verify absence %q: %v", absent, err)
+		}
+	}
+}
+
+// TestApplyBulkHashesFewerNodes: for a 100-key batch over a populated
+// tree, the single-pass merge computes strictly fewer node hashes than
+// sequential insertion — the point of the optimization.
+func TestApplyBulkHashesFewerNodes(t *testing.T) {
+	base := New()
+	for i := 0; i < 1000; i++ {
+		base = base.Insert([]byte(fmt.Sprintf("base-%d", i)), HashValue([]byte("v")))
+	}
+	updates := make(map[string]Digest, 100)
+	for i := 0; i < 100; i++ {
+		updates[fmt.Sprintf("hot-%d", i)] = HashValue([]byte("w"))
+	}
+	start := HashOps()
+	_ = applySequential(base, updates)
+	seqOps := HashOps() - start
+
+	start = HashOps()
+	_ = base.Apply(updates)
+	bulkOps := HashOps() - start
+
+	if bulkOps >= seqOps {
+		t.Fatalf("bulk apply hashed %d nodes, sequential %d — expected strictly fewer", bulkOps, seqOps)
+	}
+	t.Logf("hash ops for 100-key batch: sequential=%d bulk=%d (%.1fx fewer)",
+		seqOps, bulkOps, float64(seqOps)/float64(bulkOps))
+}

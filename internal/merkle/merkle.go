@@ -17,8 +17,11 @@
 package merkle
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"sort"
+	"sync/atomic"
 
 	"transedge/internal/cryptoutil"
 )
@@ -63,11 +66,21 @@ func firstDiffBit(a, b Digest) int {
 	panic("merkle: firstDiffBit called with equal digests")
 }
 
+// hashOps counts node-hash computations — an observability hook for the
+// bulk-apply benchmarks and property tests, which assert that ApplyBulk
+// hashes strictly fewer nodes than sequential insertion.
+var hashOps atomic.Uint64
+
+// HashOps returns the total node hashes computed since process start.
+func HashOps() uint64 { return hashOps.Load() }
+
 func leafHash(keyHash, valHash Digest) Digest {
+	hashOps.Add(1)
 	return cryptoutil.HashConcat([]byte{leafTag}, keyHash[:], valHash[:])
 }
 
 func innerHash(bit int16, left, right Digest) Digest {
+	hashOps.Add(1)
 	return cryptoutil.HashConcat([]byte{innerTag, byte(bit >> 8), byte(bit)}, left[:], right[:])
 }
 
@@ -168,14 +181,176 @@ func insertAt(n *node, crit int16, keyHash, valHash Digest) *node {
 	return newInner(n.bit, n.left, insertAt(n.right, crit, keyHash, valHash))
 }
 
+// bulkDisabled reverts Apply to one-key-at-a-time insertion. A
+// bench/test knob: the hotpath experiment flips it to record before/after
+// rows.
+var bulkDisabled atomic.Bool
+
+// SetBulkApply toggles the single-pass bulk merge inside Apply (on by
+// default).
+func SetBulkApply(on bool) { bulkDisabled.Store(!on) }
+
 // Apply returns a new version with every update applied. Updates with the
 // same key keep the last value.
 func (t *Tree) Apply(updates map[string]Digest) *Tree {
-	out := t
-	for k, vh := range updates {
-		out = out.Insert([]byte(k), vh)
+	if len(updates) == 0 {
+		return t
 	}
-	return out
+	if bulkDisabled.Load() {
+		out := t
+		for k, vh := range updates {
+			out = out.Insert([]byte(k), vh)
+		}
+		return out
+	}
+	ups := make([]Update, 0, len(updates))
+	for k, vh := range updates {
+		ups = append(ups, Update{KeyHash: HashKey([]byte(k)), ValHash: vh})
+	}
+	return t.ApplyBulk(ups)
+}
+
+// Update is one pre-hashed key/value binding of a bulk apply.
+type Update struct {
+	KeyHash Digest
+	ValHash Digest
+}
+
+// ApplyBulk returns a new version with every update applied in a single
+// merge pass: the updates are sorted by key hash and merged into the
+// persistent crit-bit trie recursively, so every trie node on an updated
+// path is rebuilt — and hashed — exactly once, instead of once per
+// inserted key as with sequential Insert. Duplicate key hashes keep the
+// last occurrence. The input slice is reordered in place.
+func (t *Tree) ApplyBulk(ups []Update) *Tree {
+	if len(ups) == 0 {
+		return t
+	}
+	sort.SliceStable(ups, func(i, j int) bool {
+		return bytes.Compare(ups[i].KeyHash[:], ups[j].KeyHash[:]) < 0
+	})
+	// Collapse duplicate keys, keeping the last occurrence (stable sort
+	// preserves input order within a key).
+	w := 0
+	for i := range ups {
+		if i+1 < len(ups) && ups[i+1].KeyHash == ups[i].KeyHash {
+			continue
+		}
+		ups[w] = ups[i]
+		w++
+	}
+	ups = ups[:w]
+	if t.root == nil {
+		return &Tree{root: buildSubtree(ups), size: len(ups)}
+	}
+	root, added := bulkMerge(t.root, leftmostKey(t.root), ups)
+	return &Tree{root: root, size: t.size + added}
+}
+
+// leftmostKey returns the key hash of the leftmost leaf under n; because
+// every key in a subtree agrees on all bits above the subtree's crit bit,
+// it represents the subtree's common prefix.
+func leftmostKey(n *node) Digest {
+	for n.bit >= 0 {
+		n = n.left
+	}
+	return n.keyHash
+}
+
+// firstDiffBefore returns the index of the most significant bit at which
+// a and b differ, or limit if they agree on every bit below it.
+func firstDiffBefore(a, b Digest, limit int) int {
+	bytesToCheck := (limit + 7) / 8
+	for i := 0; i < bytesToCheck; i++ {
+		if x := a[i] ^ b[i]; x != 0 {
+			bit := 0
+			for x&0x80 == 0 {
+				x <<= 1
+				bit++
+			}
+			if d := i*8 + bit; d < limit {
+				return d
+			}
+			return limit
+		}
+	}
+	return limit
+}
+
+// splitAt partitions sorted updates that share all bits above bit into
+// the zero-bit prefix and one-bit suffix at bit.
+func splitAt(ups []Update, bit int) ([]Update, []Update) {
+	i := sort.Search(len(ups), func(i int) bool { return bitAt(ups[i].KeyHash, bit) == 1 })
+	return ups[:i], ups[i:]
+}
+
+// buildSubtree constructs the canonical crit-bit subtree over sorted,
+// distinct key hashes.
+func buildSubtree(ups []Update) *node {
+	if len(ups) == 1 {
+		return newLeaf(ups[0].KeyHash, ups[0].ValHash)
+	}
+	crit := int16(firstDiffBit(ups[0].KeyHash, ups[len(ups)-1].KeyHash))
+	zeros, ones := splitAt(ups, int(crit))
+	return newInner(crit, buildSubtree(zeros), buildSubtree(ones))
+}
+
+// bulkMerge merges sorted, distinct updates into the subtree rooted at n,
+// whose common key prefix is represented by rep (the leftmost leaf's key
+// hash). Returns the new subtree and how many keys were newly added.
+func bulkMerge(n *node, rep Digest, ups []Update) (*node, int) {
+	if len(ups) == 0 {
+		return n, 0
+	}
+	if n.bit < 0 {
+		return mergeLeaf(n, ups)
+	}
+	b := int(n.bit)
+	// All keys in the subtree agree on bits above b, so rep stands in for
+	// the whole subtree there; and since the updates are sorted, the
+	// minimal divergence from that prefix is at one of the endpoints.
+	dmin := firstDiffBefore(ups[0].KeyHash, rep, b)
+	if d := firstDiffBefore(ups[len(ups)-1].KeyHash, rep, b); d < dmin {
+		dmin = d
+	}
+	if dmin >= b {
+		// Every update conforms to the prefix: route by this node's bit.
+		zeros, ones := splitAt(ups, b)
+		left, al := bulkMerge(n.left, rep, zeros)
+		right, ar := bulkMerge(n.right, leftmostKey(n.right), ones)
+		return newInner(n.bit, left, right), al + ar
+	}
+	// Some updates split off above this node, at bit dmin. Updates agreeing
+	// with the prefix at dmin keep merging into n; the others form a fresh
+	// sibling subtree under a new inner node at dmin.
+	zeros, ones := splitAt(ups, dmin)
+	conform, diverge := zeros, ones
+	if bitAt(rep, dmin) == 1 {
+		conform, diverge = ones, zeros
+	}
+	merged, added := bulkMerge(n, rep, conform)
+	side := buildSubtree(diverge)
+	if bitAt(rep, dmin) == 0 {
+		return newInner(int16(dmin), merged, side), added + len(diverge)
+	}
+	return newInner(int16(dmin), side, merged), added + len(diverge)
+}
+
+// mergeLeaf merges updates into a single-leaf subtree: an update matching
+// the leaf's key overwrites its value; the rest join it in a canonical
+// subtree.
+func mergeLeaf(leaf *node, ups []Update) (*node, int) {
+	i := sort.Search(len(ups), func(i int) bool {
+		return bytes.Compare(ups[i].KeyHash[:], leaf.keyHash[:]) >= 0
+	})
+	if i < len(ups) && ups[i].KeyHash == leaf.keyHash {
+		return buildSubtree(ups), len(ups) - 1
+	}
+	merged := make([]Update, 0, len(ups)+1)
+	merged = append(merged, ups[:i]...)
+	merged = append(merged, Update{KeyHash: leaf.keyHash, ValHash: leaf.valHash})
+	merged = append(merged, ups[i:]...)
+	return buildSubtree(merged), len(ups)
 }
 
 // Get returns the value hash bound to key in this version.

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"transedge/internal/cryptoutil"
 )
@@ -12,6 +14,18 @@ import (
 // big-endian and all variable-length fields are length-prefixed, so two
 // logically equal values always serialize to identical bytes.
 type enc struct{ b []byte }
+
+// encPool recycles encoder buffers across the section-digest hot path, so
+// hashing a batch does not allocate one intermediate slice per record.
+var encPool = sync.Pool{New: func() any { return &enc{b: make([]byte, 0, 1024)} }}
+
+func getEnc() *enc {
+	e := encPool.Get().(*enc)
+	e.b = e.b[:0]
+	return e
+}
+
+func putEnc(e *enc) { encPool.Put(e) }
 
 func (e *enc) u8(v uint8)   { e.b = append(e.b, v) }
 func (e *enc) u32(v uint32) { e.b = binary.BigEndian.AppendUint32(e.b, v) }
@@ -25,9 +39,22 @@ func (e *enc) bytes(v []byte) {
 func (e *enc) str(v string)    { e.bytes([]byte(v)) }
 func (e *enc) digest(d Digest) { e.b = append(e.b, d[:]...) }
 
-// EncodeTransaction returns the canonical encoding of t.
-func EncodeTransaction(t *Transaction) []byte {
-	var e enc
+// transactionSize returns the exact canonical encoding length of t, used
+// to pre-size encoder buffers.
+func transactionSize(t *Transaction) int {
+	n := 8 + 4 + 4 + 4
+	for _, r := range t.Reads {
+		n += 4 + len(r.Key) + 8
+	}
+	for _, w := range t.Writes {
+		n += 4 + len(w.Key) + 4 + len(w.Value)
+	}
+	n += 4 * len(t.Partitions)
+	return n
+}
+
+// txn appends the canonical encoding of t.
+func (e *enc) txn(t *Transaction) {
 	e.u64(uint64(t.ID))
 	e.u32(uint32(len(t.Reads)))
 	for _, r := range t.Reads {
@@ -43,6 +70,12 @@ func EncodeTransaction(t *Transaction) []byte {
 	for _, p := range t.Partitions {
 		e.i32(p)
 	}
+}
+
+// EncodeTransaction returns the canonical encoding of t.
+func EncodeTransaction(t *Transaction) []byte {
+	e := enc{b: make([]byte, 0, transactionSize(t))}
+	e.txn(t)
 	return e.b
 }
 
@@ -51,68 +84,98 @@ func TransactionDigest(t *Transaction) Digest {
 	return cryptoutil.Hash(EncodeTransaction(t))
 }
 
-// EncodeCDVector returns the canonical encoding of v.
-func EncodeCDVector(v CDVector) []byte {
-	var e enc
+// cd appends the canonical encoding of v.
+func (e *enc) cd(v CDVector) {
 	e.u32(uint32(len(v)))
 	for _, x := range v {
 		e.i64(x)
 	}
+}
+
+// EncodeCDVector returns the canonical encoding of v.
+func EncodeCDVector(v CDVector) []byte {
+	e := enc{b: make([]byte, 0, 4+8*len(v))}
+	e.cd(v)
 	return e.b
+}
+
+// prepareRecord appends the canonical encoding of r.
+func (e *enc) prepareRecord(r *PrepareRecord) {
+	e.txn(&r.Txn)
+	e.i32(r.CoordCluster)
 }
 
 // EncodePrepareRecord returns the canonical encoding of r.
 func EncodePrepareRecord(r *PrepareRecord) []byte {
-	var e enc
-	e.b = append(e.b, EncodeTransaction(&r.Txn)...)
-	e.i32(r.CoordCluster)
+	e := enc{b: make([]byte, 0, transactionSize(&r.Txn)+4)}
+	e.prepareRecord(r)
 	return e.b
+}
+
+// commitRecord appends the canonical encoding of r.
+func (e *enc) commitRecord(r *CommitRecord) {
+	e.txn(&r.Txn)
+	e.u8(uint8(r.Decision))
+	e.u32(uint32(len(r.ReportedCDs)))
+	for _, cd := range r.ReportedCDs {
+		e.cd(cd)
+	}
 }
 
 // EncodeCommitRecord returns the canonical encoding of r.
 func EncodeCommitRecord(r *CommitRecord) []byte {
 	var e enc
-	e.b = append(e.b, EncodeTransaction(&r.Txn)...)
-	e.u8(uint8(r.Decision))
-	e.u32(uint32(len(r.ReportedCDs)))
-	for _, cd := range r.ReportedCDs {
-		e.b = append(e.b, EncodeCDVector(cd)...)
-	}
+	e.commitRecord(r)
 	return e.b
 }
 
 // Section digests: each batch segment hashes to one digest so that 2PC
 // proofs can ship a single segment plus the header rather than the whole
-// batch.
+// batch. Each record streams through one pooled encoder buffer into the
+// hash with the same length framing as cryptoutil.HashConcat, so the
+// digests are unchanged but hashing a segment allocates nothing per
+// record.
 
 // LocalSectionDigest hashes the local segment.
 func LocalSectionDigest(txns []Transaction) Digest {
-	parts := make([][]byte, 0, len(txns)+1)
-	parts = append(parts, []byte("local"))
+	h := cryptoutil.NewConcatHasher()
+	h.Part([]byte("local"))
+	e := getEnc()
 	for i := range txns {
-		parts = append(parts, EncodeTransaction(&txns[i]))
+		e.b = e.b[:0]
+		e.txn(&txns[i])
+		h.Part(e.b)
 	}
-	return cryptoutil.HashConcat(parts...)
+	putEnc(e)
+	return h.Sum()
 }
 
 // PreparedSectionDigest hashes the prepared segment.
 func PreparedSectionDigest(recs []PrepareRecord) Digest {
-	parts := make([][]byte, 0, len(recs)+1)
-	parts = append(parts, []byte("prepared"))
+	h := cryptoutil.NewConcatHasher()
+	h.Part([]byte("prepared"))
+	e := getEnc()
 	for i := range recs {
-		parts = append(parts, EncodePrepareRecord(&recs[i]))
+		e.b = e.b[:0]
+		e.prepareRecord(&recs[i])
+		h.Part(e.b)
 	}
-	return cryptoutil.HashConcat(parts...)
+	putEnc(e)
+	return h.Sum()
 }
 
 // CommittedSectionDigest hashes the committed segment.
 func CommittedSectionDigest(recs []CommitRecord) Digest {
-	parts := make([][]byte, 0, len(recs)+1)
-	parts = append(parts, []byte("committed"))
+	h := cryptoutil.NewConcatHasher()
+	h.Part([]byte("committed"))
+	e := getEnc()
 	for i := range recs {
-		parts = append(parts, EncodeCommitRecord(&recs[i]))
+		e.b = e.b[:0]
+		e.commitRecord(&recs[i])
+		h.Part(e.b)
 	}
-	return cryptoutil.HashConcat(parts...)
+	putEnc(e)
+	return h.Sum()
 }
 
 // BatchHeader is the fixed-size summary of a batch. The batch digest —
@@ -136,7 +199,9 @@ type BatchHeader struct {
 
 // Encode returns the canonical encoding of h.
 func (h *BatchHeader) Encode() []byte {
-	var e enc
+	// Fixed-size fields plus the CD vector: domain tag (18) + cluster +
+	// ID + timestamp + LCE (28) + five digests (160) + CD length prefix.
+	e := enc{b: make([]byte, 0, 18+28+5*32+4+8*len(h.CD))}
 	e.b = append(e.b, []byte("transedge-batch-v1")...)
 	e.i32(h.Cluster)
 	e.i64(h.ID)
@@ -145,7 +210,7 @@ func (h *BatchHeader) Encode() []byte {
 	e.digest(h.LocalDigest)
 	e.digest(h.PreparedDigest)
 	e.digest(h.CommittedDigest)
-	e.b = append(e.b, EncodeCDVector(h.CD)...)
+	e.cd(h.CD)
 	e.i64(h.LCE)
 	e.digest(h.MerkleRoot)
 	return e.b
@@ -156,8 +221,16 @@ func (h *BatchHeader) Digest() Digest {
 	return cryptoutil.Hash(h.Encode())
 }
 
-// Header computes the header of b, including all section digests.
-func (b *Batch) Header() BatchHeader {
+// digestMemoDisabled bypasses the sealed-batch memo so Header()/Digest()
+// recompute on every call. A bench/test knob: the hotpath experiment
+// flips it to record before/after rows.
+var digestMemoDisabled atomic.Bool
+
+// SetDigestMemo toggles sealed-batch digest memoization (on by default).
+func SetDigestMemo(on bool) { digestMemoDisabled.Store(!on) }
+
+// computeHeader derives the header of b, hashing all three segments.
+func (b *Batch) computeHeader() BatchHeader {
 	return BatchHeader{
 		Cluster:         b.Cluster,
 		ID:              b.ID,
@@ -172,9 +245,33 @@ func (b *Batch) Header() BatchHeader {
 	}
 }
 
-// Digest is the signed digest of the batch.
+// Header computes the header of b, including all section digests. Sealed
+// batches compute it once and serve the cached copy thereafter — every
+// consensus step (leader sign, follower pre-prepare check, validation,
+// delivery) re-reads the header of the same immutable batch, and each
+// fresh computation re-encodes all three segments. The cached header's
+// CD vector is shared; callers treat headers as immutable snapshots.
+func (b *Batch) Header() BatchHeader {
+	if m := b.memo; m != nil && !digestMemoDisabled.Load() {
+		m.once.Do(func() {
+			m.header = b.computeHeader()
+			m.digest = m.header.Digest()
+		})
+		return m.header
+	}
+	return b.computeHeader()
+}
+
+// Digest is the signed digest of the batch, memoized for sealed batches.
 func (b *Batch) Digest() Digest {
-	h := b.Header()
+	if m := b.memo; m != nil && !digestMemoDisabled.Load() {
+		m.once.Do(func() {
+			m.header = b.computeHeader()
+			m.digest = m.header.Digest()
+		})
+		return m.digest
+	}
+	h := b.computeHeader()
 	return h.Digest()
 }
 

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"sync"
 
 	"transedge/internal/cryptoutil"
 )
@@ -252,4 +253,43 @@ type Batch struct {
 	// CommitEvidence maps a committed-segment transaction to the
 	// prepared votes of every participant, justifying the decision.
 	CommitEvidence map[TxnID][]PreparedVote
+
+	// memo caches Header()/Digest() once the batch is sealed. A batch is
+	// sealed by its leader after construction (Seal) and MUST NOT be
+	// mutated afterwards — every consensus step from leader signing to
+	// follower validation and delivery reads the same cached digest.
+	// Fault-injection paths that need a mutated variant go through
+	// MutableCopy (see DESIGN.md, "Digest memoization"). A nil memo (the
+	// zero value) recomputes on every call.
+	memo *batchMemo
+}
+
+// batchMemo holds the lazily-computed header and digest of a sealed
+// batch. sync.Once makes the computation safe under the in-process
+// transport, where every replica's event loop shares one *Batch.
+type batchMemo struct {
+	once   sync.Once
+	header BatchHeader
+	digest Digest
+}
+
+// Seal marks the batch immutable and enables Header()/Digest()
+// memoization. Idempotent; returns b for chaining. Must be called by the
+// goroutine that constructed the batch, before it is shared.
+func (b *Batch) Seal() *Batch {
+	if b.memo == nil {
+		b.memo = &batchMemo{}
+	}
+	return b
+}
+
+// MutableCopy returns a shallow copy of b with memoization detached, for
+// paths that must derive a mutated variant of a sealed batch (byzantine
+// fault injection). The copy shares the segment slices with the
+// original: callers mutating slice elements must copy those slices
+// first, or they corrupt the sealed original behind its cached digest.
+func (b *Batch) MutableCopy() *Batch {
+	cp := *b
+	cp.memo = nil
+	return &cp
 }
