@@ -19,6 +19,7 @@ import (
 	"transedge/internal/harness"
 	"transedge/internal/merkle"
 	"transedge/internal/protocol"
+	"transedge/internal/store"
 )
 
 // benchScale trims the Quick scale further so the whole suite finishes in
@@ -348,6 +349,97 @@ func BenchmarkMerkleApply(b *testing.B) {
 		run(b)
 	})
 	b.Run("bulk", run)
+}
+
+// --- Sharded storage microbenchmarks (the readscale experiment
+// measures their end-to-end effect; shards=1 restores a single-lock
+// store, the seed's behavior). ---
+
+// benchStore builds a store preloaded with `keys` keys and `versions`
+// committed batches of 200-key writes each.
+func benchStore(shards, keys, versions int) (*store.Store, []string) {
+	s := store.NewSharded(shards)
+	all := make([]string, keys)
+	init := make(map[string][]byte, keys)
+	for i := range all {
+		all[i] = fmt.Sprintf("bench-key-%06d", i)
+		init[all[i]] = make([]byte, 64)
+	}
+	s.Load(init)
+	val := make([]byte, 64)
+	for b := 1; b <= versions; b++ {
+		writes := make(map[string][]byte, 200)
+		for i := 0; i < 200; i++ {
+			writes[all[(b*200+i)%keys]] = val
+		}
+		s.ApplyAll(int64(b), writes)
+	}
+	return s, all
+}
+
+// BenchmarkStoreApplyAll — writing one 200-key batch: grouped per-shard
+// locking (one acquisition per shard) vs a single global lock.
+func BenchmarkStoreApplyAll(b *testing.B) {
+	for _, shards := range []int{1, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s, all := benchStore(shards, 5000, 20)
+			val := make([]byte, 64)
+			writes := make(map[string][]byte, 200)
+			for i := 0; i < 200; i++ {
+				writes[all[i*7%len(all)]] = val
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.ApplyAll(int64(100+i), writes)
+			}
+		})
+	}
+}
+
+// BenchmarkStoreMultiGetAsOf — a read-only transaction's 16-key snapshot
+// fan-out under concurrent readers, the off-loop executors' hot call.
+func BenchmarkStoreMultiGetAsOf(b *testing.B) {
+	for _, shards := range []int{1, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s, all := benchStore(shards, 5000, 20)
+			asOf := s.StableBatch()
+			b.RunParallel(func(pb *testing.PB) {
+				probe := make([]string, 16)
+				i := 0
+				for pb.Next() {
+					for j := range probe {
+						probe[j] = all[(i*31+j*257)%len(all)]
+					}
+					i++
+					if got := s.MultiGetAsOf(probe, asOf); !got[0].Found {
+						// b.Fatal must not run on a RunParallel worker.
+						b.Error("preloaded key missing")
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkReadScale — the readscale experiment (sharded store +
+// off-loop read executors vs the single-shard, single-executor
+// baseline) at a read-heavy mix; also keeps the experiment exercised by
+// the CI bench smoke so BENCH_readscale.json cannot silently rot.
+func BenchmarkReadScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := harness.ReadScale(benchScale)
+		base := pick(pts, "shards=1", "ro=90%")
+		sharded := pick(pts, "shards=16", "ro=90%")
+		if base == nil || sharded == nil {
+			b.Fatal("missing series")
+		}
+		b.ReportMetric(base.ThroughputTPS, "ro_tps_1shard")
+		b.ReportMetric(sharded.ThroughputTPS, "ro_tps_16shard")
+		if base.ThroughputTPS > 0 {
+			b.ReportMetric(sharded.ThroughputTPS/base.ThroughputTPS, "scale_x")
+		}
+	}
 }
 
 // BenchmarkTable1ReadOnlyInterference — read-write aborts caused by

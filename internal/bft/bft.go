@@ -249,9 +249,7 @@ func (r *Replica) Propose(b *protocol.Batch) error {
 	b.Seal()
 	d := b.Digest()
 	pp := &PrePrepare{Batch: b, LeaderSig: r.cfg.Keys.Sign(d[:])}
-	for _, peer := range r.peers {
-		r.send(peer, pp)
-	}
+	r.broadcast(pp)
 	return nil
 }
 
@@ -263,9 +261,12 @@ func (r *Replica) send(to NodeID, msg any) {
 }
 
 func (r *Replica) broadcast(msg any) {
-	for _, peer := range r.peers {
-		r.send(peer, msg)
+	if r.cfg.Behavior.Silent {
+		return
 	}
+	// One envelope build and one network-lock acquisition for the whole
+	// fan-out, instead of per peer.
+	r.cfg.Net.Broadcast(r.self, r.peers, msg)
 }
 
 // Handle processes one consensus message. It returns true if the message

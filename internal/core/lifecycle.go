@@ -51,9 +51,11 @@ func (n *Node) onDeliver(cb protocol.CertifiedBatch) {
 			writes[w.Key] = w.Value
 		}
 	}
-	if len(writes) > 0 {
-		n.st.Apply(b.ID, writes)
-	}
+	// One sharded pass per batch (each shard lock taken once); also for
+	// empty write sets, so the store's StableBatch watermark tracks
+	// delivery and off-loop snapshot reads at any committed batch are
+	// guaranteed torn-free.
+	n.st.ApplyAll(b.ID, writes)
 
 	// Install the Merkle version computed speculatively at proposal
 	// (leader) or validation (followers) time.
@@ -187,9 +189,13 @@ func (n *Node) onDeliver(cb protocol.CertifiedBatch) {
 	}
 }
 
-// pruneSnapshots enforces RetainBatches: old Merkle versions, store
-// versions, and batch bodies are dropped; headers and certificates stay
-// (they are tiny and keep audits possible).
+// pruneSnapshots enforces RetainBatches: old Merkle versions and batch
+// bodies are dropped; headers and certificates stay (they are tiny and
+// keep audits possible). Store versions are NOT pruned here — that work
+// is spread over the periodic pruneStoreStep so no delivery ever pays a
+// whole-keyspace stall. In-flight read executors are unaffected: they
+// hold the tree version and header by pointer, and the store versions
+// they need stay pinned via the executor pool's target tracking.
 func (n *Node) pruneSnapshots() {
 	retain := n.cfg.RetainBatches
 	if retain <= 0 {
@@ -203,8 +209,42 @@ func (n *Node) pruneSnapshots() {
 		delete(n.trees, id)
 		n.log[id].batch = nil
 	}
-	n.st.Prune(cutoff)
 	n.oldestSnapshot = cutoff
+}
+
+// pruneShardsPerStep bounds how many store shards one tick prunes, so
+// each tick's write-lock holds stay short and bounded.
+const pruneShardsPerStep = 4
+
+// pruneStoreStep incrementally prunes the versioned store from the
+// periodic tick: a few shards per call, each holding only its own lock.
+// The pass boundary is the oldest retained snapshot, clamped by the
+// oldest snapshot an in-flight read executor is still serving, so
+// off-loop reads never lose the versions under their feet (the
+// linearizability argument is in DESIGN.md §5).
+func (n *Node) pruneStoreStep() {
+	if n.cfg.RetainBatches <= 0 {
+		return
+	}
+	if n.pruneCursor == 0 {
+		keep := n.oldestSnapshot
+		if m := n.readers.minActive(); m >= 0 && m < keep {
+			keep = m
+		}
+		if keep <= n.prunedThrough {
+			return
+		}
+		n.pruneBoundary = keep
+	}
+	shards := n.st.ShardCount()
+	for i := 0; i < pruneShardsPerStep && n.pruneCursor < shards; i++ {
+		n.st.PruneShard(n.pruneCursor, n.pruneBoundary)
+		n.pruneCursor++
+	}
+	if n.pruneCursor >= shards {
+		n.pruneCursor = 0
+		n.prunedThrough = n.pruneBoundary
+	}
 }
 
 func reasonFor(d protocol.Decision) string {

@@ -66,6 +66,15 @@ type NodeConfig struct {
 	// always at least as new and therefore still dependency-satisfying
 	// (LCE is monotone).
 	RetainBatches int
+	// StoreShards is the shard count of the versioned store, rounded up
+	// to a power of two (0 = store.DefaultShards; 1 restores a
+	// single-lock store, the readscale experiment's baseline).
+	StoreShards int
+	// ReadExecutors sizes the pool serving read-only and read-set
+	// requests off the consensus loop (0 = GOMAXPROCS). Read serving
+	// never blocks consensus: when the pool saturates, requests fall
+	// back to inline serving on the loop.
+	ReadExecutors int
 
 	// Genesis state shared by every replica of the cluster.
 	InitialData   map[string][]byte
@@ -195,8 +204,18 @@ type Node struct {
 
 	parked []parkedRO
 
+	// readers is the off-loop pool serving read requests; only the event
+	// loop submits to it.
+	readers *readExecutor
+
 	// oldestSnapshot is the earliest batch still servable after pruning.
 	oldestSnapshot int64
+	// Incremental store-prune pass state (see pruneStoreStep): the shard
+	// cursor of the in-progress pass, that pass's keep-from boundary, and
+	// the boundary every shard has already been pruned to.
+	pruneCursor   int
+	pruneBoundary int64
+	prunedThrough int64
 
 	inbox    <-chan transport.Envelope
 	stop     chan struct{}
@@ -207,7 +226,9 @@ type Node struct {
 	Metrics Metrics
 }
 
-// Metrics counts node-level protocol events. Only the event loop writes.
+// Metrics counts node-level protocol events. The event loop writes all
+// fields except ROServed, which read executors update atomically; read
+// totals after Stop (which drains the executors) for exact values.
 type Metrics struct {
 	BatchesCommitted   int64
 	LocalCommitted     int64
@@ -248,7 +269,8 @@ func NewNode(cfg NodeConfig) *Node {
 	n := &Node{
 		cfg:              cfg,
 		self:             NodeID{Cluster: cfg.Cluster, Replica: cfg.Replica},
-		st:               store.New(),
+		st:               store.NewSharded(cfg.StoreShards),
+		readers:          newReadExecutor(cfg.ReadExecutors, 0),
 		trees:            make(map[int64]*merkle.Tree),
 		preparedReads:    make(keyRefs),
 		preparedWrites:   make(keyRefs),
@@ -314,6 +336,9 @@ func (n *Node) Stop() {
 
 func (n *Node) run() {
 	defer close(n.done)
+	// Drain the read executors before done closes (LIFO), so metrics and
+	// store state are quiescent once Stop returns.
+	defer n.readers.stop()
 	ticker := time.NewTicker(n.cfg.BatchInterval)
 	defer ticker.Stop()
 	for {
@@ -355,6 +380,7 @@ func (n *Node) dispatch(env transport.Envelope) {
 
 func (n *Node) onTick() {
 	n.expireParked()
+	n.pruneStoreStep()
 	if n.IsLeader() {
 		n.maybeBuildBatch(false)
 	}

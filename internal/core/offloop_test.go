@@ -1,0 +1,74 @@
+package core_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"transedge/internal/core"
+)
+
+// TestReadLoadDoesNotStallConsensus: snapshot reads are served by the
+// read-executor pool, off the consensus event loop, so a replica drowning
+// in read-only scans still delivers batches and commits read-write
+// transactions promptly. The scan workers hammer cluster 0's leader (the
+// default RO target) with wide scans for the whole window while a writer
+// commits sequentially; every commit must finish, and the server must
+// have been answering reads the whole time (not starving one side).
+func TestReadLoadDoesNotStallConsensus(t *testing.T) {
+	sys := testSystem(t, 1, 1, 400)
+	writer := testClient(sys, 1)
+	key := keysOn(sys, 0, 1)[0]
+	scanKeys := keysOn(sys, 0, 200)
+
+	var (
+		wg       sync.WaitGroup
+		stop     atomic.Bool
+		roServed atomic.Int64
+	)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := testClient(sys, uint32(10+w))
+			for !stop.Load() {
+				if _, err := c.ReadOnly(scanKeys); err == nil {
+					roServed.Add(1)
+				}
+			}
+		}(w)
+	}
+
+	const commits = 15
+	for i := 0; i < commits; i++ {
+		start := time.Now()
+		txn := writer.Begin()
+		if _, err := txn.Read(key); err != nil {
+			t.Fatalf("commit %d read under scan load: %v", i, err)
+		}
+		txn.Write(key, []byte{byte(i)})
+		if err := txn.Commit(); err != nil {
+			t.Fatalf("commit %d under scan load: %v", i, err)
+		}
+		if d := time.Since(start); d > 5*time.Second {
+			t.Fatalf("commit %d took %v under scan load", i, d)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if roServed.Load() == 0 {
+		t.Fatal("no read-only scans completed during the write run")
+	}
+
+	// The leader really did serve reads from the executor pool while
+	// committing: its ROServed count covers the scans above.
+	leader := sys.Node(core.NodeID{Cluster: 0, Replica: 0})
+	sys.Stop() // drain executors so metrics are final
+	if leader.Metrics.ROServed == 0 {
+		t.Fatal("leader served no read-only requests")
+	}
+	if leader.Metrics.BatchesCommitted == 0 {
+		t.Fatal("leader committed no batches")
+	}
+}

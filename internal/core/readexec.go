@@ -1,0 +1,123 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// readExecutor is the bounded worker pool that serves read requests off
+// the consensus event loop. The loop resolves WHAT to serve (the target
+// batch, after LCE lookup, clamping, and parking); executors do the
+// expensive part — the per-key store fan-out and Merkle proofs — against
+// immutable snapshot state, so read CPU scales with cores instead of
+// competing with consensus for the single loop.
+//
+// Submission is non-blocking: when the queue is full the caller serves
+// inline (degrading to the seed's on-loop behavior) rather than ever
+// blocking consensus. Only the event loop submits and stops the pool.
+//
+// The pool also underpins prune safety: every task pinned to a snapshot
+// batch is tracked until it finishes, and minActive reports the oldest
+// batch still being served, which the incremental store pruner refuses to
+// prune past (see Node.pruneStoreStep and DESIGN.md §5).
+type readExecutor struct {
+	tasks chan func()
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	active map[int64]int // snapshot batch -> in-flight task count
+}
+
+// newReadExecutor starts a pool of `workers` goroutines (0 selects
+// GOMAXPROCS) with a queue of `queue` pending tasks (0 selects 8 per
+// worker).
+func newReadExecutor(workers, queue int) *readExecutor {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if queue <= 0 {
+		queue = 8 * workers
+	}
+	p := &readExecutor{
+		tasks:  make(chan func(), queue),
+		active: make(map[int64]int),
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *readExecutor) worker() {
+	defer p.wg.Done()
+	for fn := range p.tasks {
+		fn()
+	}
+}
+
+// trySubmit enqueues fn. A non-negative target pins that snapshot batch
+// against store pruning until the task completes; pass a negative target
+// for reads of the latest state (the newest version of a key is never
+// pruned). Returns false — having done nothing — when the queue is full;
+// the caller then runs the task inline.
+func (p *readExecutor) trySubmit(target int64, fn func()) bool {
+	if target < 0 {
+		select {
+		case p.tasks <- fn:
+			return true
+		default:
+			return false
+		}
+	}
+	p.retain(target)
+	wrapped := func() {
+		defer p.release(target)
+		fn()
+	}
+	select {
+	case p.tasks <- wrapped:
+		return true
+	default:
+		p.release(target)
+		return false
+	}
+}
+
+func (p *readExecutor) retain(target int64) {
+	p.mu.Lock()
+	p.active[target]++
+	p.mu.Unlock()
+}
+
+func (p *readExecutor) release(target int64) {
+	p.mu.Lock()
+	if n := p.active[target]; n > 1 {
+		p.active[target] = n - 1
+	} else {
+		delete(p.active, target)
+	}
+	p.mu.Unlock()
+}
+
+// minActive returns the oldest snapshot batch an in-flight task is still
+// serving, or -1 when none is. The map holds at most queue+workers
+// entries, so the scan is trivially cheap.
+func (p *readExecutor) minActive() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	min := int64(-1)
+	for t := range p.active {
+		if min < 0 || t < min {
+			min = t
+		}
+	}
+	return min
+}
+
+// stop drains the queue and waits for every worker to exit. Call exactly
+// once, after the event loop has stopped submitting.
+func (p *readExecutor) stop() {
+	close(p.tasks)
+	p.wg.Wait()
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestReadExecutorRunsTasks(t *testing.T) {
+	p := newReadExecutor(2, 16)
+	var ran atomic.Int64
+	done := make(chan struct{}, 16)
+	for i := 0; i < 10; i++ {
+		ok := p.trySubmit(int64(i), func() {
+			ran.Add(1)
+			done <- struct{}{}
+		})
+		if !ok {
+			t.Fatalf("submit %d refused with free queue", i)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("task never ran")
+		}
+	}
+	p.stop()
+	if ran.Load() != 10 {
+		t.Fatalf("ran %d tasks, want 10", ran.Load())
+	}
+	if m := p.minActive(); m != -1 {
+		t.Fatalf("minActive after drain = %d, want -1", m)
+	}
+}
+
+// TestReadExecutorNonBlockingWhenSaturated: trySubmit must refuse — not
+// block — once the worker and queue are full, so the event loop can fall
+// back to inline serving and consensus never waits on readers.
+func TestReadExecutorNonBlockingWhenSaturated(t *testing.T) {
+	p := newReadExecutor(1, 1)
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	p.trySubmit(7, func() { close(started); <-gate }) // occupies the worker
+	<-started
+	if !p.trySubmit(5, func() {}) {
+		t.Fatal("queue slot submit refused")
+	}
+	refused := make(chan bool, 1)
+	go func() { refused <- !p.trySubmit(3, func() {}) }()
+	select {
+	case r := <-refused:
+		if !r {
+			t.Fatal("submit to full pool accepted")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("trySubmit blocked on a full pool")
+	}
+	// The refused task's target must not stay pinned.
+	if m := p.minActive(); m != 5 {
+		t.Fatalf("minActive = %d, want 5 (refused target 3 unpinned)", m)
+	}
+	close(gate)
+	p.stop()
+}
+
+// TestReadExecutorMinActiveTracksOldestSnapshot: pinned targets gate the
+// store pruner; they must register at submit time and release on
+// completion, with negative targets untracked.
+func TestReadExecutorMinActiveTracksOldestSnapshot(t *testing.T) {
+	p := newReadExecutor(1, 4)
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	p.trySubmit(9, func() { close(started); <-gate })
+	<-started
+	p.trySubmit(4, func() {})  // queued behind the blocked task
+	p.trySubmit(-1, func() {}) // latest-state read: untracked
+	if m := p.minActive(); m != 4 {
+		t.Fatalf("minActive = %d, want 4", m)
+	}
+	close(gate)
+	p.stop() // drains both tasks
+	if m := p.minActive(); m != -1 {
+		t.Fatalf("minActive after stop = %d, want -1", m)
+	}
+}

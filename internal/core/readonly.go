@@ -2,8 +2,11 @@ package core
 
 import (
 	"sort"
+	"sync/atomic"
 	"time"
 
+	"transedge/internal/cryptoutil"
+	"transedge/internal/merkle"
 	"transedge/internal/protocol"
 )
 
@@ -16,19 +19,33 @@ import (
 // Non-interference: serving never touches the transaction pipeline; it
 // reads immutable log entries and persistent tree versions, so concurrent
 // read-write transactions are never blocked or aborted by readers.
+//
+// Off-loop serving: the event loop only RESOLVES a request — which batch
+// snapshot answers it (LCE binary search, prune clamping, parking) — and
+// captures that batch's immutable state (header, certificate, Merkle tree
+// version). The per-key fan-out against the sharded store and the proof
+// construction run on the read-executor pool, so read CPU scales with
+// cores and adds no latency to consensus. Safety argument: DESIGN.md §5.
 
 // onReadRequest serves a single-key committed read for a read-write
-// transaction's read set. Any replica can answer.
+// transaction's read set. Any replica can answer. The read goes straight
+// to an executor: it touches only the sharded store (whose newest
+// versions are never pruned), so nothing needs resolving on-loop.
 func (n *Node) onReadRequest(m *protocol.ReadRequest) {
-	v, writer, ok := n.st.Get(m.Key)
-	reply := protocol.ReadReply{Key: m.Key, Found: ok}
-	if ok {
-		reply.Value = v
-		reply.Version = writer
+	task := func() {
+		v, writer, ok := n.st.Get(m.Key)
+		reply := protocol.ReadReply{Key: m.Key, Found: ok}
+		if ok {
+			reply.Value = v
+			reply.Version = writer
+		}
+		select {
+		case m.ReplyTo <- reply:
+		default:
+		}
 	}
-	select {
-	case m.ReplyTo <- reply:
-	default:
+	if !n.readers.trySubmit(-1, task) {
+		task()
 	}
 }
 
@@ -70,7 +87,22 @@ func (n *Node) findBatchWithLCE(p int64) int64 {
 	return int64(i)
 }
 
-// serveRO answers a read-only request from the snapshot of one batch.
+// roSnapshot is everything an executor needs to answer from one batch's
+// snapshot: the certified header and the Merkle tree version are captured
+// on the event loop, after which they are immutable — the tree is a
+// persistent structure and log entries never change once appended — so
+// executors read them without synchronization. Store versions at batchID
+// are pinned against pruning by the executor's target tracking.
+type roSnapshot struct {
+	batchID int64
+	header  protocol.BatchHeader
+	cert    cryptoutil.Certificate
+	tree    *merkle.Tree
+}
+
+// serveRO resolves a read-only request's snapshot on the event loop and
+// hands the key fan-out to the read-executor pool (inline when the pool
+// is saturated, preserving liveness at the seed's behavior).
 func (n *Node) serveRO(m *protocol.RORequest, batchID int64) {
 	if n.cfg.ROBehavior.ServeStaleBatch {
 		// Byzantine: an old-but-consistent snapshot. Clients bound this
@@ -81,42 +113,70 @@ func (n *Node) serveRO(m *protocol.RORequest, batchID int64) {
 		batchID = n.oldestSnapshot
 	}
 	entry := n.log[batchID]
-	tree := n.trees[batchID]
+	snap := roSnapshot{batchID: batchID, header: entry.header, cert: entry.cert, tree: n.trees[batchID]}
+	req := *m
+	task := func() { n.serveROSnapshot(&req, snap) }
+	if !n.readers.trySubmit(batchID, task) {
+		task()
+	}
+}
+
+// serveROSnapshot answers a read-only request from a resolved snapshot.
+// It runs on a read executor (or inline on the loop when the pool is
+// full) and touches only executor-safe state: the immutable snapshot, the
+// sharded store at a batch <= StableBatch, the node's immutable config,
+// and atomic metrics.
+func (n *Node) serveROSnapshot(m *protocol.RORequest, snap roSnapshot) {
 	reply := protocol.ROReply{
 		Cluster: n.cfg.Cluster,
-		BatchID: batchID,
-		Header:  entry.header,
-		Cert:    entry.cert,
+		BatchID: snap.batchID,
+		Header:  snap.header,
+		Cert:    snap.cert,
 	}
-	for _, k := range m.Keys {
-		if n.cfg.Part.Of(k) != n.cfg.Cluster {
+	// One sharded pass for every local key's value, then proofs per key.
+	// local and vals share m.Keys' ascending order, so a cursor maps
+	// results back without a per-request allocation.
+	local := make([]int, 0, len(m.Keys))
+	localKeys := make([]string, 0, len(m.Keys))
+	for i, k := range m.Keys {
+		if n.cfg.Part.Of(k) == n.cfg.Cluster {
+			local = append(local, i)
+			localKeys = append(localKeys, k)
+		}
+	}
+	vals := n.st.MultiGetAsOf(localKeys, snap.batchID)
+	next := 0
+	for i, k := range m.Keys {
+		if next == len(local) || local[next] != i {
 			reply.Values = append(reply.Values, protocol.ROValue{Key: k})
 			continue
 		}
-		v, _, ok := n.st.GetAsOf(k, batchID)
-		if !ok {
+		v := vals[next]
+		next++
+		if !v.Found {
 			// Absent in this snapshot: prove it.
 			val := protocol.ROValue{Key: k}
-			if ap, err := tree.ProveAbsent([]byte(k)); err == nil {
+			if ap, err := snap.tree.ProveAbsent([]byte(k)); err == nil {
 				val.Absence = &ap
 			}
 			reply.Values = append(reply.Values, val)
 			continue
 		}
-		proof, _, err := tree.Prove([]byte(k))
+		proof, _, err := snap.tree.Prove([]byte(k))
 		if err != nil {
 			reply.Values = append(reply.Values, protocol.ROValue{Key: k})
 			continue
 		}
+		value := v.Value
 		if n.cfg.ROBehavior.CorruptValues {
-			v = append(append([]byte(nil), v...), 0xff)
+			value = append(append([]byte(nil), value...), 0xff)
 		}
 		if n.cfg.ROBehavior.CorruptProofs && len(proof.Steps) > 0 {
 			proof.Steps = proof.Steps[:len(proof.Steps)-1]
 		}
-		reply.Values = append(reply.Values, protocol.ROValue{Key: k, Value: v, Found: true, Proof: proof})
+		reply.Values = append(reply.Values, protocol.ROValue{Key: k, Value: value, Found: true, Proof: proof})
 	}
-	n.Metrics.ROServed++
+	atomic.AddInt64(&n.Metrics.ROServed, 1)
 	select {
 	case m.ReplyTo <- reply:
 	default:

@@ -27,6 +27,8 @@ type SystemConfig struct {
 	FreshnessWindow time.Duration
 	ROParkTimeout   time.Duration
 	RetainBatches   int
+	StoreShards     int // versioned-store shard count (0 = store.DefaultShards)
+	ReadExecutors   int // off-loop read pool size per replica (0 = GOMAXPROCS)
 
 	// InitialData is the global initial key space; each cluster loads the
 	// subset the partitioner assigns to it.
@@ -126,6 +128,8 @@ func NewSystem(cfg SystemConfig) *System {
 				FreshnessWindow: cfg.FreshnessWindow,
 				ROParkTimeout:   cfg.ROParkTimeout,
 				RetainBatches:   cfg.RetainBatches,
+				StoreShards:     cfg.StoreShards,
+				ReadExecutors:   cfg.ReadExecutors,
 				InitialData:     perCluster[c],
 				GenesisHeader:   header,
 				GenesisCert:     cert,

@@ -108,7 +108,7 @@ func (n *Node) validateBatch(b *protocol.Batch) error {
 	}
 
 	// --- Local and prepared segments: conflict detection (Def. 3.1) ---
-	env := n.specConflictEnv()
+	env := n.specConflictEnv(n.prefetchWriters(b))
 	for i := range b.Local {
 		t := &b.Local[i]
 		if !t.IsLocal() {
@@ -229,14 +229,50 @@ func (n *Node) specGroupView() []specGroup {
 	return all[min(n.specGroupsConsumed(), len(all)):]
 }
 
+// prefetchWriters resolves the last-writer batch of every read key the
+// batch validates against in one sharded pass (each store shard locked
+// once), so the per-key checks below never take a lock. Keys outside the
+// prefetch fall back to single-key lookups.
+func (n *Node) prefetchWriters(b *protocol.Batch) func(string) int64 {
+	var keys []string
+	for i := range b.Local {
+		for _, r := range b.Local[i].Reads {
+			keys = append(keys, r.Key)
+		}
+	}
+	for i := range b.Prepared {
+		for _, r := range n.localReads(&b.Prepared[i].Txn) {
+			keys = append(keys, r.Key)
+		}
+	}
+	if len(keys) == 0 {
+		return n.st.LastWriter
+	}
+	writers := n.st.LastWriters(keys)
+	m := make(map[string]int64, len(keys))
+	for i, k := range keys {
+		m[k] = writers[i]
+	}
+	return func(key string) int64 {
+		if w, ok := m[key]; ok {
+			return w
+		}
+		return n.st.LastWriter(key)
+	}
+}
+
 // specConflictEnv builds the conflict environment as of the end of the
-// speculative chain: the delivered store overlaid with speculative
-// writes, and the prepared footprints adjusted by speculative prepared
-// and committed segments. With an empty chain this is exactly the
-// delivered state.
-func (n *Node) specConflictEnv() *conflictEnv {
+// speculative chain: the delivered store (read through storeWriter,
+// typically a prefetched batch of last-writer lookups) overlaid with
+// speculative writes, and the prepared footprints adjusted by speculative
+// prepared and committed segments. With an empty chain this is exactly
+// the delivered state.
+func (n *Node) specConflictEnv(storeWriter func(string) int64) *conflictEnv {
+	if storeWriter == nil {
+		storeWriter = n.st.LastWriter
+	}
 	env := &conflictEnv{
-		lastWriter:     n.st.LastWriter,
+		lastWriter:     storeWriter,
 		pendingReads:   make(keyRefs),
 		pendingWrites:  make(keyRefs),
 		preparedReads:  n.preparedReads,
@@ -280,7 +316,7 @@ func (n *Node) specConflictEnv() *conflictEnv {
 		if v, ok := writer[key]; ok {
 			return v
 		}
-		return n.st.LastWriter(key)
+		return storeWriter(key)
 	}
 	env.preparedReads, env.preparedWrites = prepReads, prepWrites
 	return env

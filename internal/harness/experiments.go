@@ -516,28 +516,74 @@ func Hotpath(s Scale) []Point {
 	return out
 }
 
+// ReadScale — read-only throughput across store shard counts at
+// read-heavy mixes. One partition isolates the per-replica read path;
+// cheap links and closed-loop mixed workers keep the replica CPU-bound,
+// so the bottleneck is exactly what the sharded engine and the off-loop
+// executor pool attack: the store lock and the consensus loop serving
+// every read inline. The shards=1 series pins the executor pool to one
+// worker as well, approximating the seed's serial read path; higher
+// series scale both together, and read throughput should rise with the
+// series while the write path (same batch pipeline in every series)
+// holds steady.
+func ReadScale(s Scale) []Point {
+	var out []Point
+	for _, shards := range []int{1, 4, 16} {
+		for _, roPct := range []int{50, 90, 99} {
+			cfg := s.base()
+			cfg.Protocol = TransEdge
+			cfg.Clusters = 1
+			cfg.StoreShards = shards
+			cfg.ReadExecutors = shards
+			cfg.ROWorkers = 0
+			cfg.RWWorkers = 0
+			cfg.MixedWorkers = s.ROWorkers * 6
+			cfg.ROFraction = float64(roPct) / 100
+			// Wide read-only transactions (8 keys, each with a Merkle
+			// proof) make per-read CPU the dominant cost; write-only RW
+			// transactions keep versions churning underneath the readers.
+			cfg.ROPerCluster = 8
+			cfg.ReadOps = NoOps
+			cfg.WriteOps = 3
+			cfg.IntraLatency = 2 * s.LatencyUnit
+			cfg.InterLatency = 2 * s.LatencyUnit
+			cfg.Duration = s.Duration * 2
+			runtime.GC() // level GC debt between points
+			r := Run(cfg)
+			out = append(out, Point{
+				Experiment: "readscale", Series: fmt.Sprintf("shards=%d", shards),
+				X:             fmt.Sprintf("ro=%d%%", roPct),
+				ThroughputTPS: r.RO.Throughput, LatencyMS: ms(r.RO.Mean),
+				P99MS: ms(r.RO.P99), AbortPct: r.RW.AbortPct(),
+			})
+		}
+	}
+	return out
+}
+
 // Experiments maps experiment IDs to their runners, for the CLI.
 var Experiments = map[string]func(Scale) []Point{
-	"fig4":     Fig4,
-	"fig5":     Fig5,
-	"fig6":     Fig6,
-	"fig7":     Fig7,
-	"fig8":     Fig8,
-	"fig10":    Fig10and11,
-	"fig11":    Fig10and11,
-	"fig9":     Fig9,
-	"fig12":    Fig12,
-	"fig13":    Fig13,
-	"fig14":    Fig14,
-	"fig15":    Fig15,
-	"table1":   Table1,
-	"pipeline": Pipeline,
-	"hotpath":  Hotpath,
+	"fig4":      Fig4,
+	"fig5":      Fig5,
+	"fig6":      Fig6,
+	"fig7":      Fig7,
+	"fig8":      Fig8,
+	"fig10":     Fig10and11,
+	"fig11":     Fig10and11,
+	"fig9":      Fig9,
+	"fig12":     Fig12,
+	"fig13":     Fig13,
+	"fig14":     Fig14,
+	"fig15":     Fig15,
+	"table1":    Table1,
+	"pipeline":  Pipeline,
+	"hotpath":   Hotpath,
+	"readscale": ReadScale,
 }
 
 // Order lists experiments in paper order for -experiment all.
 var Order = []string{
 	"fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 	"fig10", "fig12", "fig13", "fig14", "fig15", "table1",
-	"pipeline", "hotpath",
+	"pipeline", "hotpath", "readscale",
 }

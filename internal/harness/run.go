@@ -51,9 +51,20 @@ type Config struct {
 	IntraLatency  time.Duration
 	InterLatency  time.Duration
 
+	// StoreShards / ReadExecutors shape each replica's storage engine and
+	// off-loop read pool (0 = system defaults); the readscale experiment
+	// sweeps them.
+	StoreShards   int
+	ReadExecutors int
+
 	// Worker counts (the paper uses 2 clients x 10 threads).
 	ROWorkers int
 	RWWorkers int
+	// MixedWorkers run a blended closed loop: each operation is a
+	// read-only transaction with probability ROFraction, else a
+	// read-write one — the read-mix knob of the readscale experiment.
+	MixedWorkers int
+	ROFraction   float64
 
 	// Workload shape. Zero means the paper default (5 reads, 3 writes);
 	// NoOps requests explicitly none.
@@ -209,6 +220,58 @@ func mean(ds []time.Duration) time.Duration {
 	return sum / time.Duration(len(ds))
 }
 
+// pickROKeys draws one read-only transaction's key set: the configured
+// scan when scanSize > 0, the default RO shape otherwise. Every
+// protocol's RO path draws through here so baselines see the same
+// workload.
+func pickROKeys(g *workload.Generator, scanSize int) []string {
+	if scanSize > 0 {
+		return g.NextROScan(scanSize)
+	}
+	return g.NextRO()
+}
+
+// runRO executes one read-only transaction, recording latency/rounds or
+// an abort into col. Returns false when the worker should exit (error
+// after the stop flag is raised).
+func runRO(c *client.Client, g *workload.Generator, col *collector, stop *atomic.Bool, scanSize int) bool {
+	keys := pickROKeys(g, scanSize)
+	start := time.Now()
+	res, err := c.ReadOnly(keys)
+	if err != nil {
+		if stop.Load() {
+			return false
+		}
+		col.abort()
+		return true
+	}
+	col.add(time.Since(start), res.Rounds)
+	return true
+}
+
+// runRW executes one read-write transaction, recording latency or an
+// abort into col.
+func runRW(c *client.Client, g *workload.Generator, col *collector) {
+	spec := g.NextRW()
+	start := time.Now()
+	txn := c.Begin()
+	for _, k := range spec.ReadKeys {
+		if _, err := txn.Read(k); err != nil {
+			return
+		}
+	}
+	for _, k := range spec.WriteKeys {
+		txn.Write(k, spec.Value)
+	}
+	if err := txn.Commit(); err != nil {
+		if errors.Is(err, client.ErrAborted) {
+			col.abort()
+		}
+		return
+	}
+	col.add(time.Since(start), 0)
+}
+
 // Run executes one experiment point and returns its measurements.
 func Run(cfg Config) Result {
 	cfg = cfg.withDefaults()
@@ -233,6 +296,8 @@ func runTransEdgeLike(cfg Config) Result {
 		BatchInterval: cfg.BatchInterval,
 		BatchMaxSize:  cfg.BatchMaxSize,
 		PipelineDepth: cfg.PipelineDepth,
+		StoreShards:   cfg.StoreShards,
+		ReadExecutors: cfg.ReadExecutors,
 		IntraLatency:  cfg.IntraLatency,
 		InterLatency:  cfg.InterLatency,
 		InitialData:   gen.InitialData(),
@@ -253,46 +318,49 @@ func runTransEdgeLike(cfg Config) Result {
 		wg           sync.WaitGroup
 	)
 
+	// roClientFor wraps a client with the protocol's read-only path: the
+	// TwoPCBFT baseline reads via coordinated 2PC, TransEdge via
+	// one-round verified snapshots.
+	roClientFor := func(c *client.Client) *twopcbft.Client {
+		if cfg.Protocol == TwoPCBFT {
+			return twopcbft.New(c)
+		}
+		return nil
+	}
+	// roOnce runs one read-only transaction on whichever path applies.
+	// Returns false when the worker should exit.
+	roOnce := func(c *client.Client, ro2pc *twopcbft.Client, g *workload.Generator) bool {
+		if ro2pc == nil {
+			return runRO(c, g, &roCol, &stop, cfg.ROScanSize)
+		}
+		keys := pickROKeys(g, cfg.ROScanSize)
+		start := time.Now()
+		res, err := ro2pc.ReadOnly(keys)
+		if err != nil {
+			return false
+		}
+		if res.Aborted {
+			roCol.abort()
+			return true
+		}
+		roCol.add(time.Since(start), 0)
+		return true
+	}
+
 	// Read-only workers.
 	for w := 0; w < cfg.ROWorkers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			c := newClient(uint32(100 + w))
-			var ro2pc *twopcbft.Client
-			if cfg.Protocol == TwoPCBFT {
-				ro2pc = twopcbft.New(c)
-			}
+			ro2pc := roClientFor(c)
 			g := workload.New(workload.Config{
 				Keys: cfg.Keys, ValueSize: cfg.ValueSize, Clusters: cfg.Clusters,
 				Seed: cfg.Seed + int64(w)*31, ROClusters: cfg.ROClusters, ROPerCluster: cfg.ROPerCluster,
 			})
 			for !stop.Load() {
-				keys := g.NextRO()
-				if cfg.ROScanSize > 0 {
-					keys = g.NextROScan(cfg.ROScanSize)
-				}
-				start := time.Now()
-				if ro2pc != nil {
-					res, err := ro2pc.ReadOnly(keys)
-					if err != nil {
-						return
-					}
-					if res.Aborted {
-						roCol.abort()
-						continue
-					}
-					roCol.add(time.Since(start), 0)
-				} else {
-					res, err := c.ReadOnly(keys)
-					if err != nil {
-						if stop.Load() {
-							return
-						}
-						roCol.abort()
-						continue
-					}
-					roCol.add(time.Since(start), res.Rounds)
+				if !roOnce(c, ro2pc, g) {
+					return
 				}
 			}
 		}(w)
@@ -311,29 +379,35 @@ func runTransEdgeLike(cfg Config) Result {
 				LocalFraction: cfg.LocalFraction,
 			})
 			for !stop.Load() {
-				spec := g.NextRW()
-				start := time.Now()
-				txn := c.Begin()
-				ok := true
-				for _, k := range spec.ReadKeys {
-					if _, err := txn.Read(k); err != nil {
-						ok = false
-						break
+				runRW(c, g, &rwCol)
+			}
+		}(w)
+	}
+
+	// Mixed workers interleave both classes from one deterministic stream
+	// (the read-mix knob of the readscale experiment).
+	for w := 0; w < cfg.MixedWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := newClient(uint32(300 + w))
+			ro2pc := roClientFor(c)
+			g := workload.New(workload.Config{
+				Keys: cfg.Keys, ValueSize: cfg.ValueSize, Clusters: cfg.Clusters,
+				Seed: cfg.Seed + int64(w)*13, ReadOps: asWorkloadOps(cfg.ReadOps),
+				WriteOps:      asWorkloadOps(cfg.WriteOps),
+				LocalFraction: cfg.LocalFraction,
+				ROClusters:    cfg.ROClusters, ROPerCluster: cfg.ROPerCluster,
+				ROFraction: cfg.ROFraction,
+			})
+			for !stop.Load() {
+				if g.NextIsRO() {
+					if !roOnce(c, ro2pc, g) {
+						return
 					}
+				} else {
+					runRW(c, g, &rwCol)
 				}
-				if !ok {
-					continue
-				}
-				for _, k := range spec.WriteKeys {
-					txn.Write(k, spec.Value)
-				}
-				if err := txn.Commit(); err != nil {
-					if errors.Is(err, client.ErrAborted) {
-						rwCol.abort()
-					}
-					continue
-				}
-				rwCol.add(time.Since(start), 0)
 			}
 		}(w)
 	}
@@ -376,6 +450,34 @@ func runAugustus(cfg Config) Result {
 		stop         atomic.Bool
 		wg           sync.WaitGroup
 	)
+	runAugRO := func(c *augustus.Client, g *workload.Generator) bool {
+		keys := pickROKeys(g, cfg.ROScanSize)
+		start := time.Now()
+		if _, err := c.ReadOnly(keys); err != nil {
+			if stop.Load() {
+				return false
+			}
+			roCol.abort()
+			return true
+		}
+		roCol.add(time.Since(start), 0)
+		return true
+	}
+	runAugRW := func(c *augustus.Client, g *workload.Generator) {
+		spec := g.NextRW()
+		writes := make([]protocol.WriteOp, len(spec.WriteKeys))
+		for i, k := range spec.WriteKeys {
+			writes[i] = protocol.WriteOp{Key: k, Value: spec.Value}
+		}
+		start := time.Now()
+		if err := c.Execute(spec.ReadKeys, writes); err != nil {
+			if errors.Is(err, augustus.ErrAborted) {
+				rwCol.abort()
+			}
+			return
+		}
+		rwCol.add(time.Since(start), 0)
+	}
 	for w := 0; w < cfg.ROWorkers; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -386,19 +488,9 @@ func runAugustus(cfg Config) Result {
 				Seed: cfg.Seed + int64(w)*31, ROClusters: cfg.ROClusters, ROPerCluster: cfg.ROPerCluster,
 			})
 			for !stop.Load() {
-				keys := g.NextRO()
-				if cfg.ROScanSize > 0 {
-					keys = g.NextROScan(cfg.ROScanSize)
+				if !runAugRO(c, g) {
+					return
 				}
-				start := time.Now()
-				if _, err := c.ReadOnly(keys); err != nil {
-					if stop.Load() {
-						return
-					}
-					roCol.abort()
-					continue
-				}
-				roCol.add(time.Since(start), 0)
 			}
 		}(w)
 	}
@@ -414,19 +506,32 @@ func runAugustus(cfg Config) Result {
 				LocalFraction: cfg.LocalFraction,
 			})
 			for !stop.Load() {
-				spec := g.NextRW()
-				writes := make([]protocol.WriteOp, len(spec.WriteKeys))
-				for i, k := range spec.WriteKeys {
-					writes[i] = protocol.WriteOp{Key: k, Value: spec.Value}
-				}
-				start := time.Now()
-				if err := c.Execute(spec.ReadKeys, writes); err != nil {
-					if errors.Is(err, augustus.ErrAborted) {
-						rwCol.abort()
+				runAugRW(c, g)
+			}
+		}(w)
+	}
+	// Mixed workers, so read-mix sweeps can compare against the baseline.
+	for w := 0; w < cfg.MixedWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := sys.NewClient(uint32(300 + w))
+			g := workload.New(workload.Config{
+				Keys: cfg.Keys, ValueSize: cfg.ValueSize, Clusters: cfg.Clusters,
+				Seed: cfg.Seed + int64(w)*13, ReadOps: asWorkloadOps(cfg.ReadOps),
+				WriteOps:      asWorkloadOps(cfg.WriteOps),
+				LocalFraction: cfg.LocalFraction,
+				ROClusters:    cfg.ROClusters, ROPerCluster: cfg.ROPerCluster,
+				ROFraction: cfg.ROFraction,
+			})
+			for !stop.Load() {
+				if g.NextIsRO() {
+					if !runAugRO(c, g) {
+						return
 					}
-					continue
+				} else {
+					runAugRW(c, g)
 				}
-				rwCol.add(time.Since(start), 0)
 			}
 		}(w)
 	}

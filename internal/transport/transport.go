@@ -66,12 +66,20 @@ type Stats struct {
 
 // mailbox is an unbounded FIFO queue pumped into a channel, so senders
 // never block and protocol logic cannot deadlock on full buffers.
+//
+// The queue is two slices: pushes append to tail, pops walk head. When
+// head is exhausted the slices swap, reusing both backing arrays — O(1)
+// amortized with no per-pop reslicing (the seed's `queue = queue[1:]`
+// kept the whole backing array, and every popped envelope's payload,
+// reachable until the next append reallocated).
 type mailbox struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []Envelope
-	out    chan Envelope
-	closed bool
+	mu      sync.Mutex
+	cond    *sync.Cond
+	head    []Envelope // pop side: head[headPos:] is the front of the queue
+	headPos int
+	tail    []Envelope // push side
+	out     chan Envelope
+	closed  bool
 }
 
 func newMailbox() *mailbox {
@@ -84,25 +92,41 @@ func newMailbox() *mailbox {
 func (m *mailbox) push(e Envelope) {
 	m.mu.Lock()
 	if !m.closed {
-		m.queue = append(m.queue, e)
+		m.tail = append(m.tail, e)
 		m.cond.Signal()
 	}
 	m.mu.Unlock()
 }
 
+// empty reports whether the queue holds no envelopes; callers hold mu.
+func (m *mailbox) empty() bool {
+	return m.headPos == len(m.head) && len(m.tail) == 0
+}
+
+// pop removes the front envelope; callers hold mu and ensure !empty().
+func (m *mailbox) pop() Envelope {
+	if m.headPos == len(m.head) {
+		m.head, m.tail = m.tail, m.head[:0]
+		m.headPos = 0
+	}
+	e := m.head[m.headPos]
+	m.head[m.headPos] = Envelope{} // release the payload reference now
+	m.headPos++
+	return e
+}
+
 func (m *mailbox) pump() {
 	for {
 		m.mu.Lock()
-		for len(m.queue) == 0 && !m.closed {
+		for m.empty() && !m.closed {
 			m.cond.Wait()
 		}
-		if m.closed && len(m.queue) == 0 {
+		if m.closed && m.empty() {
 			m.mu.Unlock()
 			close(m.out)
 			return
 		}
-		e := m.queue[0]
-		m.queue = m.queue[1:]
+		e := m.pop()
 		m.mu.Unlock()
 		m.out <- e
 	}
@@ -180,8 +204,42 @@ func (n *Network) Send(from, to NodeID, payload any) {
 	filter := n.filter
 	n.mu.RUnlock()
 
-	n.Stats.Sent.Add(1)
 	env := Envelope{From: from, To: to, SentAt: time.Now(), Payload: payload}
+	n.dispatch(env, box, lat, filter)
+}
+
+// Broadcast sends payload from one node to every listed destination. The
+// network lock is taken and the envelope built once; only the To field
+// varies per destination.
+func (n *Network) Broadcast(from NodeID, tos []NodeID, payload any) {
+	if len(tos) == 0 {
+		return
+	}
+	n.mu.RLock()
+	if n.stopped {
+		n.mu.RUnlock()
+		return
+	}
+	boxes := make([]*mailbox, len(tos))
+	lats := make([]time.Duration, len(tos))
+	for i, to := range tos {
+		boxes[i] = n.boxes[to]
+		lats[i] = n.latency(from, to)
+	}
+	filter := n.filter
+	n.mu.RUnlock()
+
+	env := Envelope{From: from, SentAt: time.Now(), Payload: payload}
+	for i, to := range tos {
+		env.To = to
+		n.dispatch(env, boxes[i], lats[i], filter)
+	}
+}
+
+// dispatch applies stats, the drop filter, and the latency model to one
+// resolved envelope.
+func (n *Network) dispatch(env Envelope, box *mailbox, lat time.Duration, filter FilterFunc) {
+	n.Stats.Sent.Add(1)
 	if box == nil || (filter != nil && !filter(env)) {
 		n.Stats.Dropped.Add(1)
 		return
@@ -204,13 +262,6 @@ func (n *Network) Send(from, to NodeID, payload any) {
 			deliver()
 		}
 	})
-}
-
-// Broadcast sends payload from one node to every listed destination.
-func (n *Network) Broadcast(from NodeID, tos []NodeID, payload any) {
-	for _, to := range tos {
-		n.Send(from, to, payload)
-	}
 }
 
 // Stop shuts the network down: pending deliveries are cancelled and all

@@ -186,3 +186,48 @@ func TestRegisterTwiceReturnsSameChannel(t *testing.T) {
 		t.Fatal("Register is not idempotent")
 	}
 }
+
+// TestMailboxQueueReleasesBackingStorage pins the two-slice queue's
+// memory behavior: after a large burst fully drains, neither queue slice
+// still grows (pops recycle the arrays instead of resclicing them away),
+// and FIFO order holds across the head/tail swaps.
+func TestMailboxQueueReleasesBackingStorage(t *testing.T) {
+	m := newMailbox()
+	const burst = 10000
+	for i := 0; i < burst; i++ {
+		m.push(Envelope{Payload: i})
+	}
+	for i := 0; i < burst; i++ {
+		e := <-m.out
+		if e.Payload.(int) != i {
+			t.Fatalf("message %d out of order: got %v", i, e.Payload)
+		}
+	}
+	// Drained: popped slots must hold no payload references (popped
+	// envelopes are zeroed so the queue retains nothing), and a second
+	// burst must reuse the same arrays without another big growth.
+	m.mu.Lock()
+	for i := 0; i < m.headPos; i++ {
+		if m.head[i].Payload != nil {
+			m.mu.Unlock()
+			t.Fatalf("popped slot %d still references its payload", i)
+		}
+	}
+	capBefore := cap(m.head) + cap(m.tail)
+	m.mu.Unlock()
+	for i := 0; i < burst; i++ {
+		m.push(Envelope{Payload: i})
+	}
+	for i := 0; i < burst; i++ {
+		if e := <-m.out; e.Payload.(int) != i {
+			t.Fatalf("second burst message %d out of order", i)
+		}
+	}
+	m.mu.Lock()
+	capAfter := cap(m.head) + cap(m.tail)
+	m.mu.Unlock()
+	if capAfter > 4*capBefore {
+		t.Fatalf("queue arrays not recycled: cap %d -> %d", capBefore, capAfter)
+	}
+	m.close()
+}

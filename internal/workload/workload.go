@@ -32,6 +32,12 @@ type Config struct {
 	// from each (the paper's default: 1 key from each of 5 clusters).
 	ROClusters   int
 	ROPerCluster int
+
+	// ROFraction is the read mix of a blended workload: the probability
+	// that the next operation drawn via NextIsRO is a snapshot read-only
+	// transaction rather than a read-write one. Zero means a worker
+	// never mixes (the harness's dedicated RO/RW worker pools ignore it).
+	ROFraction float64
 }
 
 func (c Config) withDefaults() Config {
@@ -172,6 +178,14 @@ func (g *Generator) NextRW() RWTxn {
 		writes = append(writes, g.pickFrom(c, 1)...)
 	}
 	return RWTxn{ReadKeys: reads, WriteKeys: writes, Value: g.value, Local: false}
+}
+
+// NextIsRO draws the class of a blended workload's next operation:
+// read-only with probability ROFraction, read-write otherwise. The draw
+// comes from the generator's deterministic stream, so a mixed worker's
+// operation sequence is reproducible from its seed.
+func (g *Generator) NextIsRO() bool {
+	return g.rng.Float64() < g.cfg.ROFraction
 }
 
 // NextRO generates a read-only transaction's key set: ROPerCluster keys

@@ -124,3 +124,29 @@ func TestDefaultsApplied(t *testing.T) {
 		t.Fatal("default generator produced empty txn")
 	}
 }
+
+func TestROFractionMix(t *testing.T) {
+	// Deterministic for a seed, and the realized mix tracks the knob.
+	a := New(Config{Clusters: 2, Seed: 7, ROFraction: 0.9})
+	b := New(Config{Clusters: 2, Seed: 7, ROFraction: 0.9})
+	ro := 0
+	for i := 0; i < 2000; i++ {
+		ra, rb := a.NextIsRO(), b.NextIsRO()
+		if ra != rb {
+			t.Fatal("NextIsRO diverged between same-seed generators")
+		}
+		if ra {
+			ro++
+		}
+	}
+	if ro < 1700 || ro > 1990 {
+		t.Fatalf("ROFraction 0.9 realized %d/2000 read-only draws", ro)
+	}
+	// Zero fraction (the dedicated-worker default) never draws read-only.
+	c := New(Config{Clusters: 2, Seed: 7})
+	for i := 0; i < 100; i++ {
+		if c.NextIsRO() {
+			t.Fatal("zero ROFraction drew a read-only op")
+		}
+	}
+}

@@ -64,6 +64,13 @@ type Options struct {
 	// restores the stop-and-wait pipeline, where consensus latency caps
 	// commit throughput.
 	PipelineDepth int
+	// StoreShards is each replica's versioned-store shard count, rounded
+	// up to a power of two (default 16). One shard restores a global
+	// store lock; more shards let concurrent snapshot reads scale.
+	StoreShards int
+	// ReadExecutors sizes each replica's pool serving read-only
+	// transactions off the consensus loop (default: GOMAXPROCS).
+	ReadExecutors int
 
 	// IntraClusterLatency and InterClusterLatency shape the simulated
 	// network (defaults: zero).
@@ -113,6 +120,8 @@ func Start(opts Options) (*System, error) {
 		BatchInterval:   opts.BatchInterval,
 		BatchMaxSize:    opts.BatchMaxSize,
 		PipelineDepth:   opts.PipelineDepth,
+		StoreShards:     opts.StoreShards,
+		ReadExecutors:   opts.ReadExecutors,
 		IntraLatency:    opts.IntraClusterLatency,
 		InterLatency:    opts.InterClusterLatency,
 		FreshnessWindow: opts.FreshnessWindow,
