@@ -442,6 +442,32 @@ func BenchmarkReadScale(b *testing.B) {
 	}
 }
 
+// BenchmarkRecovery — the crash/recovery experiment: commit throughput
+// with all replicas up, with a follower crashed, and after its restart,
+// plus the restarted replica's state-transfer catch-up time. Run by the
+// CI bench smoke so BENCH_recovery.json cannot silently rot.
+func BenchmarkRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := harness.Recovery(benchScale)
+		base := pick(pts, "TransEdge", "baseline")
+		down := pick(pts, "TransEdge", "follower-down")
+		rec := pick(pts, "TransEdge", "recovered")
+		catch := pick(pts, "TransEdge", "catchup")
+		if base == nil || down == nil || rec == nil || catch == nil {
+			b.Fatal("missing series")
+		}
+		if catch.LatencyMS < 0 {
+			b.Fatal("restarted replica never caught up")
+		}
+		b.ReportMetric(base.ThroughputTPS, "tps_baseline")
+		b.ReportMetric(down.ThroughputTPS, "tps_follower_down")
+		b.ReportMetric(rec.ThroughputTPS, "tps_recovered")
+		b.ReportMetric(catch.LatencyMS, "catchup_ms")
+		b.ReportMetric(float64(base.LogLen), "log_window")
+		b.ReportMetric(base.HeapMB, "heap_mb")
+	}
+}
+
 // BenchmarkTable1ReadOnlyInterference — read-write aborts caused by
 // read-only transactions: ~0 for TransEdge, growing with cluster count
 // for Augustus.

@@ -83,6 +83,14 @@ type Config struct {
 	// while predecessors are still in consensus.
 	MaxInFlight int
 
+	// BufferAhead bounds how far beyond nextDeliver a message's sequence
+	// number may run before it is dropped instead of buffered (0 selects
+	// 2*MaxInFlight+2; negative disables the bound entirely). The
+	// enclosing node disables it when checkpointing is off — without
+	// state transfer, dropped messages could never be recovered, so
+	// unbounded buffering is the only way a slow replica catches up.
+	BufferAhead int
+
 	// Validate inspects a proposed batch before the replica votes for it.
 	// It runs exactly once per batch ID, in log order, but ahead of
 	// delivery: slot k+1 is validated as soon as slot k has been
@@ -149,10 +157,16 @@ type Replica struct {
 
 	// Equivocation evidence: leader proposals seen per ID.
 	proposedDigest map[int64]protocol.Digest
+	// highestSeen is the largest sequence number observed in any
+	// consensus message (including ones dropped for being beyond the
+	// buffering window) — the signal the enclosing node uses to detect
+	// that it has fallen behind and must state-transfer.
+	highestSeen int64
 	// Fault counters are atomic so tests and monitoring can read them
 	// while the event loop runs.
 	equivocations atomic.Int64
 	rejected      atomic.Int64
+	droppedAhead  atomic.Int64
 }
 
 // New creates a replica engine. Batch IDs start at 1 (batch 0 is the
@@ -201,6 +215,99 @@ func (r *Replica) Equivocations() int { return int(r.equivocations.Load()) }
 
 // Rejected returns how many proposals failed content validation here.
 func (r *Replica) Rejected() int { return int(r.rejected.Load()) }
+
+// DroppedAhead returns how many consensus messages were dropped for
+// carrying sequence numbers beyond the buffering window.
+func (r *Replica) DroppedAhead() int { return int(r.droppedAhead.Load()) }
+
+// HighestSeen returns the largest sequence number observed in any
+// consensus message, including dropped ones.
+func (r *Replica) HighestSeen() int64 { return r.highestSeen }
+
+// maxAhead is how far beyond nextDeliver a message's sequence number may
+// run before it is dropped instead of buffered (-1 = unbounded). An
+// honest leader never proposes past its own nextDeliver + MaxInFlight;
+// the extra window absorbs the skew between our delivery point and the
+// quorum's (plus timer-jitter reordering in the transport). Anything
+// further means we lost messages for good — buffering cannot help, only
+// state transfer can — so the buffers stay bounded at O(maxAhead)
+// instances.
+func (r *Replica) maxAhead() int64 {
+	if r.cfg.BufferAhead < 0 {
+		return -1
+	}
+	if r.cfg.BufferAhead > 0 {
+		return int64(r.cfg.BufferAhead)
+	}
+	return 2*int64(r.cfg.MaxInFlight) + 2
+}
+
+// observe tracks the highest sequence number seen and reports whether
+// the message is within the buffering window. Out-of-window messages
+// are counted and dropped by the callers. The recorded high-water mark
+// is clamped a couple of windows ahead of nextDeliver: sequence numbers
+// in Prepare/Commit messages are unauthenticated, so one forged huge ID
+// must not pin Lagging() true forever — the clamp keeps the signal
+// (beyond the window ⇒ sync) while letting it heal as delivery (or a
+// settle after a futile sync) advances.
+func (r *Replica) observe(id int64) bool {
+	ahead := r.maxAhead()
+	if ahead < 0 {
+		if id > r.highestSeen {
+			r.highestSeen = id
+		}
+		return true
+	}
+	if capped := min(id, r.nextDeliver+2*ahead); capped > r.highestSeen {
+		r.highestSeen = capped
+	}
+	if id >= r.nextDeliver+ahead {
+		r.droppedAhead.Add(1)
+		return false
+	}
+	return true
+}
+
+// SettleHighestSeen lowers the observed high-water mark to tip. The
+// enclosing node calls it after a state-transfer round that found
+// nothing newer than tip: whatever raised the mark beyond it (a forged
+// sequence number, or traffic already superseded) is not fetchable, so
+// leaving it high would re-trigger sync forever. Genuine new traffic
+// raises the mark again immediately.
+func (r *Replica) SettleHighestSeen(tip int64) {
+	if tip < r.highestSeen {
+		r.highestSeen = tip
+	}
+}
+
+// Lagging reports whether this replica has observed consensus traffic so
+// far beyond its delivery point that it has started dropping messages —
+// the condition under which only a state transfer can restore liveness.
+// Never true with an unbounded buffer (nothing is ever dropped).
+func (r *Replica) Lagging() bool {
+	ahead := r.maxAhead()
+	return ahead >= 0 && r.highestSeen >= r.nextDeliver+ahead
+}
+
+// Reset re-bases the engine after a state transfer: the log prefix up to
+// base (with the given batch digest) is installed out of band, so
+// consensus resumes at base+1 with all per-slot state below (and any
+// stale buffered state) discarded. The enclosing node guarantees base is
+// a certified log position.
+func (r *Replica) Reset(base int64, digest protocol.Digest) {
+	r.nextDeliver = base + 1
+	r.nextValidate = base + 1
+	r.nextPropose = base + 1
+	r.lastDigest = digest
+	r.lastValidated = digest
+	r.instances = make(map[int64]*instance)
+	r.pendingPrePrepare = make(map[int64]*PrePrepare)
+	r.proposedDigest = make(map[int64]protocol.Digest)
+	// Observations from before the reset describe slots the transfer
+	// already covered (or forged numbers); discard them with the rest of
+	// the stale state so Lagging() reflects post-reset traffic only.
+	r.highestSeen = base
+}
 
 // Errors.
 var (
@@ -308,6 +415,9 @@ func (r *Replica) onPrePrepare(from NodeID, m *PrePrepare) {
 	if b == nil || b.Cluster != r.cfg.Cluster || b.ID < r.nextDeliver {
 		return
 	}
+	if !r.observe(b.ID) {
+		return // beyond the buffering window; state transfer catches us up
+	}
 	d := b.Digest()
 	if !cryptoutil.Verify(r.cfg.Ring.PublicKey(from), d[:], m.LeaderSig) {
 		return // forged proposal
@@ -409,6 +519,9 @@ func (r *Replica) onPrepare(from NodeID, m *Prepare) {
 	if from.Cluster != r.cfg.Cluster || m.ID < r.nextDeliver {
 		return
 	}
+	if !r.observe(m.ID) {
+		return
+	}
 	in := r.inst(m.ID)
 	if _, dup := in.prepares[from.Replica]; dup {
 		return
@@ -443,6 +556,9 @@ func (r *Replica) maybeCommit(in *instance) {
 
 func (r *Replica) onCommit(from NodeID, m *Commit) {
 	if from.Cluster != r.cfg.Cluster || m.ID < r.nextDeliver {
+		return
+	}
+	if !r.observe(m.ID) {
 		return
 	}
 	in := r.inst(m.ID)

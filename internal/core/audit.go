@@ -35,14 +35,17 @@ type AuditReply struct {
 	Records []LogRecord
 }
 
-// onAuditRequest exports the replica's log (event-loop context).
+// onAuditRequest exports the replica's retained log window (event-loop
+// context). After checkpoint truncation the export — and therefore the
+// audit — anchors at the window base instead of genesis; VerifyLog
+// checks the chain from whichever record comes first.
 func (n *Node) onAuditRequest(m *AuditRequest) {
 	reply := AuditReply{Cluster: n.cfg.Cluster}
-	for _, e := range n.log {
+	n.log.each(func(e *logEntry) {
 		if e.header.ID >= m.FromBatch {
 			reply.Records = append(reply.Records, LogRecord{Header: e.header, Cert: e.cert})
 		}
-	}
+	})
 	select {
 	case m.ReplyTo <- reply:
 	default:

@@ -255,7 +255,7 @@ func (n *Node) specTail() (protocol.BatchHeader, protocol.Digest, *merkle.Tree) 
 		s := n.spec[k-1]
 		return s.header, s.digest, s.tree
 	}
-	e := n.log[n.lastBatchID()]
+	e := n.log.last()
 	return e.header, e.digest, n.curTree
 }
 

@@ -65,7 +65,8 @@ func (n *Node) onDeliver(cb protocol.CertifiedBatch) {
 		n.curTree = n.applyBatchToTree(n.curTree, b)
 	}
 	n.trees[b.ID] = n.curTree
-	n.log = append(n.log, entry)
+	n.log.append(entry)
+	n.tip.Store(b.ID)
 	n.Metrics.BatchesCommitted++
 
 	// Local transactions are committed now (Sec. 3.2).
@@ -182,6 +183,7 @@ func (n *Node) onDeliver(cb protocol.CertifiedBatch) {
 		}
 	}
 
+	n.maybeCheckpoint(b.ID)
 	n.pruneSnapshots()
 	n.serveParked()
 	if n.IsLeader() {
@@ -202,12 +204,21 @@ func (n *Node) pruneSnapshots() {
 		return
 	}
 	cutoff := n.lastBatchID() - int64(retain) + 1
+	// Batch bodies above the stable checkpoint stay servable: they are
+	// the suffix a state-transferring peer replays after installing the
+	// checkpoint. The memory window is therefore bounded by
+	// max(RetainBatches, CheckpointInterval), not RetainBatches alone.
+	if n.stable != nil && cutoff > n.stable.id+1 {
+		cutoff = n.stable.id + 1
+	}
 	if cutoff <= n.oldestSnapshot {
 		return
 	}
 	for id := n.oldestSnapshot; id < cutoff; id++ {
 		delete(n.trees, id)
-		n.log[id].batch = nil
+		if e := n.log.get(id); e != nil {
+			e.batch = nil
+		}
 	}
 	n.oldestSnapshot = cutoff
 }
@@ -230,6 +241,11 @@ func (n *Node) pruneStoreStep() {
 		keep := n.oldestSnapshot
 		if m := n.readers.minActive(); m >= 0 && m < keep {
 			keep = m
+		}
+		// Versions visible at the stable checkpoint must survive: they
+		// are what ExportAsOf serves to state-transferring peers.
+		if n.stable != nil && n.stable.id < keep {
+			keep = n.stable.id
 		}
 		if keep <= n.prunedThrough {
 			return

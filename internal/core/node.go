@@ -12,6 +12,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"transedge/internal/bft"
@@ -75,6 +76,19 @@ type NodeConfig struct {
 	// never blocks consensus: when the pool saturates, requests fall
 	// back to inline serving on the loop.
 	ReadExecutors int
+	// CheckpointInterval is how many batches apart replicas sign
+	// checkpoints; a 2f+1 checkpoint quorum becomes a stable checkpoint
+	// that truncates the log window below it and anchors state transfer
+	// (0 = DefaultCheckpointInterval, negative disables checkpointing —
+	// the seed's unbounded-log behavior).
+	CheckpointInterval int
+	// StateTransferTimeout bounds how long a syncing replica waits for a
+	// StateResponse before retrying the next peer (0 = a second).
+	StateTransferTimeout time.Duration
+	// Recovering marks a node restarted after a crash: it starts from
+	// genesis state and immediately requests a state transfer instead of
+	// waiting to observe that it is behind.
+	Recovering bool
 
 	// Genesis state shared by every replica of the cluster.
 	InitialData   map[string][]byte
@@ -159,10 +173,17 @@ type Node struct {
 	cfg  NodeConfig
 	self NodeID
 
+	// peers lists the other replicas of this cluster, for broadcasts.
+	peers []NodeID
+
 	st      *store.Store
 	curTree *merkle.Tree
 	trees   map[int64]*merkle.Tree
-	log     []*logEntry // index == batch ID; entry 0 is genesis
+	// log is the retained window of committed batches: everything below
+	// the latest stable checkpoint is truncated (entry 0 starts as
+	// genesis; after a state transfer the base is the installed
+	// checkpoint).
+	log windowedLog
 
 	consensus *bft.Replica
 
@@ -208,6 +229,33 @@ type Node struct {
 	// loop submits to it.
 	readers *readExecutor
 
+	// Checkpoint state (DESIGN.md §6). chk is the newest checkpoint this
+	// replica has derived and voted for; stable is the newest checkpoint
+	// with a 2f+1 quorum, which bounds the log window and serves state
+	// transfers. chkVotes buffers votes for checkpoints we have not
+	// reached yet.
+	chk      *checkpointState
+	stable   *checkpointState
+	chkVotes map[int64]map[int32]*protocol.Checkpoint
+
+	// State-transfer client state: whether a sync is in flight, its
+	// retry deadline, the peer rotation cursor, and which distinct peers
+	// have ever responded — a recovering replica keeps rotating until
+	// f+1 distinct peers answered, so no single (possibly byzantine or
+	// equally-amnesiac) responder can talk it into staying at genesis.
+	syncing      bool
+	syncDeadline time.Time
+	syncPeer     int32
+	syncHeard    map[int32]bool
+	// replaying is set only around state-transfer suffix replay, gating
+	// checkpoint derivation for batches this replica did not deliver
+	// live (peers are past them; no quorum could form).
+	replaying bool
+
+	// tip mirrors the newest committed batch ID atomically so the
+	// harness can watch catch-up progress while the loop runs.
+	tip atomic.Int64
+
 	// oldestSnapshot is the earliest batch still servable after pruning.
 	oldestSnapshot int64
 	// Incremental store-prune pass state (see pruneStoreStep): the shard
@@ -246,11 +294,28 @@ type Metrics struct {
 	// predecessor never reached the log (Propose failure or log
 	// divergence).
 	PipelineRollbacks int64
+	// CheckpointsStable counts stable checkpoints established (2f+1
+	// checkpoint quorums observed).
+	CheckpointsStable int64
+	// LogTruncated counts log entries dropped below stable checkpoints.
+	LogTruncated int64
+	// StateTransfers counts checkpoint installs from peers (full
+	// snapshot replacements, not suffix-only replays).
+	StateTransfers int64
+	// SuffixReplayed counts certified batches applied from state-transfer
+	// suffixes instead of live consensus.
+	SuffixReplayed int64
 }
 
 // DefaultPipelineDepth is how many batches a leader keeps in flight when
 // NodeConfig.PipelineDepth is unset.
 const DefaultPipelineDepth = 4
+
+// DefaultCheckpointInterval is the checkpoint spacing when
+// NodeConfig.CheckpointInterval is unset: frequent enough to bound
+// steady-state memory to a modest window, rare enough that the per-
+// checkpoint store scan stays invisible next to per-batch work.
+const DefaultCheckpointInterval = 64
 
 // NewNode builds (but does not start) a replica.
 func NewNode(cfg NodeConfig) *Node {
@@ -265,6 +330,12 @@ func NewNode(cfg NodeConfig) *Node {
 	}
 	if cfg.ROParkTimeout <= 0 {
 		cfg.ROParkTimeout = 5 * time.Second
+	}
+	if cfg.CheckpointInterval == 0 {
+		cfg.CheckpointInterval = DefaultCheckpointInterval
+	}
+	if cfg.StateTransferTimeout <= 0 {
+		cfg.StateTransferTimeout = time.Second
 	}
 	n := &Node{
 		cfg:              cfg,
@@ -281,8 +352,15 @@ func NewNode(cfg NodeConfig) *Node {
 		pendingReads:     make(keyRefs),
 		pendingWrites:    make(keyRefs),
 		waiters:          make(map[protocol.TxnID]chan protocol.CommitReply),
+		chkVotes:         make(map[int64]map[int32]*protocol.Checkpoint),
+		syncHeard:        make(map[int32]bool),
 		stop:             make(chan struct{}),
 		done:             make(chan struct{}),
+	}
+	for r := int32(0); int(r) < cfg.N; r++ {
+		if r != cfg.Replica {
+			n.peers = append(n.peers, NodeID{Cluster: cfg.Cluster, Replica: r})
+		}
 	}
 
 	// Install genesis: initial data load as batch 0.
@@ -291,12 +369,19 @@ func NewNode(cfg NodeConfig) *Node {
 	n.curTree = tree
 	n.trees[0] = tree
 	genesisDigest := cfg.GenesisHeader.Digest()
-	n.log = append(n.log, &logEntry{
+	n.log.init(0, &logEntry{
 		batch:  &protocol.Batch{Cluster: cfg.Cluster, ID: 0, CD: cfg.GenesisHeader.CD.Clone(), LCE: cfg.GenesisHeader.LCE, MerkleRoot: cfg.GenesisHeader.MerkleRoot, Timestamp: cfg.GenesisHeader.Timestamp},
 		header: cfg.GenesisHeader,
 		digest: genesisDigest,
 		cert:   cfg.GenesisCert,
 	})
+	// Without checkpoints there is no state transfer, so a dropped
+	// consensus message could never be recovered: keep the seed's
+	// unbounded buffering in that configuration.
+	bufferAhead := 0
+	if cfg.CheckpointInterval < 0 {
+		bufferAhead = -1
+	}
 	n.consensus = bft.New(bft.Config{
 		Cluster:       cfg.Cluster,
 		Replica:       cfg.Replica,
@@ -308,6 +393,7 @@ func NewNode(cfg NodeConfig) *Node {
 		Behavior:      cfg.Behavior,
 		GenesisDigest: genesisDigest,
 		MaxInFlight:   cfg.PipelineDepth,
+		BufferAhead:   bufferAhead,
 		Validate:      n.validateBatch,
 		Deliver:       n.onDeliver,
 	})
@@ -324,6 +410,12 @@ func (n *Node) IsLeader() bool { return n.consensus.IsLeader() }
 func (n *Node) Start() {
 	n.inbox = n.cfg.Net.Register(n.self)
 	n.lastFlush = time.Now()
+	if n.cfg.Recovering {
+		// A restarted replica holds only genesis: ask a peer for the
+		// latest stable checkpoint before (not instead of) processing
+		// live traffic — anything within the live window still applies.
+		n.startStateSync()
+	}
 	go n.run()
 }
 
@@ -373,6 +465,12 @@ func (n *Node) dispatch(env transport.Envelope) {
 		n.onPreparedVote(env.From, m)
 	case *protocol.CommitDecision:
 		n.onCommitDecision(env.From, m)
+	case *protocol.Checkpoint:
+		n.onCheckpoint(env.From, m)
+	case *protocol.StateRequest:
+		n.onStateRequest(m)
+	case *protocol.StateResponse:
+		n.onStateResponse(env.From, m)
 	case *AuditRequest:
 		n.onAuditRequest(m)
 	}
@@ -381,13 +479,31 @@ func (n *Node) dispatch(env transport.Envelope) {
 func (n *Node) onTick() {
 	n.expireParked()
 	n.pruneStoreStep()
+	n.maybeStateSync()
 	if n.IsLeader() {
 		n.maybeBuildBatch(false)
 	}
 }
 
 // lastBatchID returns the newest committed batch ID.
-func (n *Node) lastBatchID() int64 { return int64(len(n.log) - 1) }
+func (n *Node) lastBatchID() int64 { return n.log.lastID() }
+
+// Tip returns the newest committed batch ID, safe to read while the
+// event loop runs (the harness polls it to measure catch-up).
+func (n *Node) Tip() int64 { return n.tip.Load() }
+
+// LogWindow returns the retained log window as (base, length). Owned by
+// the event loop: read it only after Stop.
+func (n *Node) LogWindow() (int64, int) { return n.log.baseID(), n.log.len() }
+
+// StableCheckpoint returns the newest stable checkpoint's batch ID, or
+// -1 if none formed yet. Owned by the event loop: read after Stop.
+func (n *Node) StableCheckpoint() int64 {
+	if n.stable == nil {
+		return -1
+	}
+	return n.stable.id
+}
 
 // leaderOf returns the leader identity of a cluster.
 func leaderOf(cluster int32) NodeID {

@@ -86,7 +86,7 @@ func TestPipelineChainsSpeculativeBatches(t *testing.T) {
 
 	// Slots carry consecutive IDs and chain PrevDigest off the
 	// predecessor's speculative header (slot 0 off the delivered log).
-	if got := n.spec[0].batch.PrevDigest; got != n.log[0].header.Digest() {
+	if got := n.spec[0].batch.PrevDigest; got != n.log.get(0).header.Digest() {
 		t.Fatal("first slot does not chain off the delivered log")
 	}
 	for i, s := range n.spec {
@@ -225,7 +225,7 @@ func TestPipelineDivergentDeliveryRollsBack(t *testing.T) {
 		n.maybeBuildBatch(true)
 	}
 
-	genesisHeader := n.log[0].header
+	genesisHeader := n.log.get(0).header
 	cd := genesisHeader.CD.Clone()
 	cd[0] = 1
 	foreign := &protocol.Batch{

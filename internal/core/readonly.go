@@ -1,7 +1,6 @@
 package core
 
 import (
-	"sort"
 	"sync/atomic"
 	"time"
 
@@ -76,15 +75,13 @@ func (n *Node) onRORequest(m *protocol.RORequest) {
 	n.serveRO(m, target)
 }
 
-// findBatchWithLCE returns the earliest batch whose LCE is at least p, or
-// -1 if no such batch has committed yet. LCE is monotone over the log, so
-// binary search applies.
+// findBatchWithLCE returns the earliest retained batch whose LCE is at
+// least p, or -1 if no such batch has committed yet. LCE is monotone
+// over the log, so binary search applies; a dependency satisfied only by
+// a truncated prefix resolves to the window base, which is at least as
+// new and therefore still dependency-satisfying.
 func (n *Node) findBatchWithLCE(p int64) int64 {
-	i := sort.Search(len(n.log), func(i int) bool { return n.log[i].header.LCE >= p })
-	if i == len(n.log) {
-		return -1
-	}
-	return int64(i)
+	return n.log.searchLCE(p)
 }
 
 // roSnapshot is everything an executor needs to answer from one batch's
@@ -109,10 +106,13 @@ func (n *Node) serveRO(m *protocol.RORequest, batchID int64) {
 		// with the freshness timestamp (Sec. 4.4.2).
 		batchID = 0
 	}
+	// oldestSnapshot >= log base is an invariant (truncation raises both
+	// together and pruning only ever raises oldestSnapshot), so this
+	// clamp alone keeps batchID inside the retained window.
 	if batchID < n.oldestSnapshot {
 		batchID = n.oldestSnapshot
 	}
-	entry := n.log[batchID]
+	entry := n.log.get(batchID)
 	snap := roSnapshot{batchID: batchID, header: entry.header, cert: entry.cert, tree: n.trees[batchID]}
 	req := *m
 	task := func() { n.serveROSnapshot(&req, snap) }

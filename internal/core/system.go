@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"transedge/internal/bft"
@@ -29,6 +30,13 @@ type SystemConfig struct {
 	RetainBatches   int
 	StoreShards     int // versioned-store shard count (0 = store.DefaultShards)
 	ReadExecutors   int // off-loop read pool size per replica (0 = GOMAXPROCS)
+	// CheckpointInterval spaces the stable checkpoints that bound every
+	// replica's log window and anchor crash recovery (0 =
+	// DefaultCheckpointInterval, negative disables).
+	CheckpointInterval int
+	// StateTransferTimeout bounds a syncing replica's wait for a
+	// StateResponse before it retries another peer (0 = 1s).
+	StateTransferTimeout time.Duration
 
 	// InitialData is the global initial key space; each cluster loads the
 	// subset the partitioner assigns to it.
@@ -70,7 +78,11 @@ type System struct {
 	Ring *cryptoutil.KeyRing
 	Part protocol.Partitioner
 
-	nodes map[NodeID]*Node
+	// mu guards nodes/nodeCfgs against concurrent replica restarts (the
+	// recovery harness crashes and revives replicas while workers run).
+	mu       sync.Mutex
+	nodes    map[NodeID]*Node
+	nodeCfgs map[NodeID]NodeConfig
 }
 
 // NewSystem builds all clusters, generates node identities, installs the
@@ -104,40 +116,77 @@ func NewSystem(cfg SystemConfig) *System {
 		perCluster[part.Of(k)][k] = v
 	}
 
-	sys := &System{Cfg: cfg, Net: net, Ring: ring, Part: part, nodes: make(map[NodeID]*Node)}
+	sys := &System{Cfg: cfg, Net: net, Ring: ring, Part: part,
+		nodes: make(map[NodeID]*Node), nodeCfgs: make(map[NodeID]NodeConfig)}
 	genesisTime := time.Now().UnixNano()
 	for c := 0; c < cfg.Clusters; c++ {
 		header, cert := genesis(int32(c), cfg.Clusters, perCluster[c], genesisTime, keys, n)
 		for r := 0; r < n; r++ {
 			id := NodeID{Cluster: int32(c), Replica: int32(r)}
-			node := NewNode(NodeConfig{
-				Cluster:         int32(c),
-				Replica:         int32(r),
-				Clusters:        cfg.Clusters,
-				N:               n,
-				F:               cfg.F,
-				Keys:            keys[id],
-				Ring:            ring,
-				Net:             net,
-				Part:            part,
-				Behavior:        cfg.Byzantine[id],
-				ROBehavior:      cfg.ROByzantine[id],
-				BatchInterval:   cfg.BatchInterval,
-				BatchMaxSize:    cfg.BatchMaxSize,
-				PipelineDepth:   cfg.PipelineDepth,
-				FreshnessWindow: cfg.FreshnessWindow,
-				ROParkTimeout:   cfg.ROParkTimeout,
-				RetainBatches:   cfg.RetainBatches,
-				StoreShards:     cfg.StoreShards,
-				ReadExecutors:   cfg.ReadExecutors,
-				InitialData:     perCluster[c],
-				GenesisHeader:   header,
-				GenesisCert:     cert,
-			})
-			sys.nodes[id] = node
+			ncfg := NodeConfig{
+				Cluster:              int32(c),
+				Replica:              int32(r),
+				Clusters:             cfg.Clusters,
+				N:                    n,
+				F:                    cfg.F,
+				Keys:                 keys[id],
+				Ring:                 ring,
+				Net:                  net,
+				Part:                 part,
+				Behavior:             cfg.Byzantine[id],
+				ROBehavior:           cfg.ROByzantine[id],
+				BatchInterval:        cfg.BatchInterval,
+				BatchMaxSize:         cfg.BatchMaxSize,
+				PipelineDepth:        cfg.PipelineDepth,
+				FreshnessWindow:      cfg.FreshnessWindow,
+				ROParkTimeout:        cfg.ROParkTimeout,
+				RetainBatches:        cfg.RetainBatches,
+				StoreShards:          cfg.StoreShards,
+				ReadExecutors:        cfg.ReadExecutors,
+				CheckpointInterval:   cfg.CheckpointInterval,
+				StateTransferTimeout: cfg.StateTransferTimeout,
+				InitialData:          perCluster[c],
+				GenesisHeader:        header,
+				GenesisCert:          cert,
+			}
+			sys.nodeCfgs[id] = ncfg
+			sys.nodes[id] = NewNode(ncfg)
 		}
 	}
 	return sys
+}
+
+// StopReplica crashes one replica: its event loop stops and its mailbox
+// is torn down, so every message sent while it is down is lost — exactly
+// what a process crash implies. The rest of the cluster keeps committing
+// as long as 2f+1 replicas remain.
+func (s *System) StopReplica(id NodeID) {
+	s.mu.Lock()
+	node := s.nodes[id]
+	s.mu.Unlock()
+	if node == nil {
+		return
+	}
+	node.Stop()
+	s.Net.Deregister(id)
+}
+
+// RestartReplica rebuilds a crashed replica from its original
+// configuration — fresh genesis state, empty mailbox — and starts it in
+// recovery mode: it immediately requests a state transfer, installs the
+// latest stable checkpoint, replays the suffix, and rejoins consensus.
+func (s *System) RestartReplica(id NodeID) *Node {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cfg, ok := s.nodeCfgs[id]
+	if !ok {
+		return nil
+	}
+	cfg.Recovering = true
+	node := NewNode(cfg)
+	s.nodes[id] = node
+	node.Start()
+	return node
 }
 
 // genesis builds the certified genesis batch of one cluster: batch 0
@@ -170,6 +219,8 @@ func genesis(cluster int32, clusters int, data map[string][]byte, ts int64,
 
 // Start launches every replica's event loop.
 func (s *System) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for _, node := range s.nodes {
 		node.Start()
 	}
@@ -177,7 +228,13 @@ func (s *System) Start() {
 
 // Stop shuts down all replicas and the network.
 func (s *System) Stop() {
+	s.mu.Lock()
+	nodes := make([]*Node, 0, len(s.nodes))
 	for _, node := range s.nodes {
+		nodes = append(nodes, node)
+	}
+	s.mu.Unlock()
+	for _, node := range nodes {
 		node.Stop()
 	}
 	s.Net.Stop()
@@ -185,7 +242,11 @@ func (s *System) Stop() {
 
 // Node returns a replica by identity (nil if absent); used by tests and
 // the harness to read metrics.
-func (s *System) Node(id NodeID) *Node { return s.nodes[id] }
+func (s *System) Node(id NodeID) *Node {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nodes[id]
+}
 
 // Leader returns the leader identity of a cluster.
 func (s *System) Leader(cluster int32) NodeID { return leaderOf(cluster) }
@@ -207,6 +268,8 @@ func newTreeFor(data map[string][]byte) *merkle.Tree {
 // metrics are owned by each event loop; call this after Stop (or treat
 // results as approximate while the system runs).
 func (s *System) NodeMetrics(f func(*Metrics) int64) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var total int64
 	for _, node := range s.nodes {
 		total += f(&node.Metrics)

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"transedge/internal/protocol"
+)
+
+func wlEntry(id, lce int64) *logEntry {
+	return &logEntry{header: protocol.BatchHeader{ID: id, LCE: lce}}
+}
+
+func TestWindowedLogBasics(t *testing.T) {
+	var l windowedLog
+	l.init(0, wlEntry(0, -1))
+	for id := int64(1); id <= 10; id++ {
+		l.append(wlEntry(id, id-2))
+	}
+	if l.baseID() != 0 || l.lastID() != 10 || l.len() != 11 {
+		t.Fatalf("base=%d last=%d len=%d", l.baseID(), l.lastID(), l.len())
+	}
+	if e := l.get(7); e == nil || e.header.ID != 7 {
+		t.Fatal("get(7) failed")
+	}
+	if l.get(11) != nil || l.get(-1) != nil {
+		t.Fatal("out-of-window get returned an entry")
+	}
+
+	if n := l.truncate(4); n != 4 {
+		t.Fatalf("truncate dropped %d, want 4", n)
+	}
+	if l.baseID() != 4 || l.lastID() != 10 || l.len() != 7 {
+		t.Fatalf("after truncate: base=%d last=%d len=%d", l.baseID(), l.lastID(), l.len())
+	}
+	if l.get(3) != nil {
+		t.Fatal("truncated entry still reachable")
+	}
+	if e := l.get(4); e == nil || e.header.ID != 4 {
+		t.Fatal("base entry lost")
+	}
+	// Truncating past the end clamps: the newest entry survives.
+	l.truncate(99)
+	if l.len() != 1 || l.get(10) == nil {
+		t.Fatalf("clamped truncate: len=%d", l.len())
+	}
+	// Idempotent / no-op truncations.
+	if l.truncate(3) != 0 {
+		t.Fatal("stale truncate dropped entries")
+	}
+}
+
+func TestWindowedLogSearchLCE(t *testing.T) {
+	var l windowedLog
+	l.init(5, wlEntry(5, 2))
+	l.append(wlEntry(6, 2))
+	l.append(wlEntry(7, 6))
+	l.append(wlEntry(8, 6))
+
+	if got := l.searchLCE(2); got != 5 {
+		t.Fatalf("searchLCE(2) = %d, want 5 (base clamp)", got)
+	}
+	if got := l.searchLCE(5); got != 7 {
+		t.Fatalf("searchLCE(5) = %d, want 7", got)
+	}
+	if got := l.searchLCE(7); got != -1 {
+		t.Fatalf("searchLCE(7) = %d, want -1 (park)", got)
+	}
+	// A dependency below the window resolves to the base entry.
+	if got := l.searchLCE(0); got != 5 {
+		t.Fatalf("searchLCE(0) = %d, want 5", got)
+	}
+}

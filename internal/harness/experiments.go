@@ -66,6 +66,21 @@ type Point struct {
 	Round1MS      float64
 	Round2EffMS   float64
 	Round2Pct     float64
+
+	// Runtime footprint of the run behind this row: live heap after the
+	// measurement window and the longest retained log window across
+	// replicas. Together they make the checkpointing memory bound (and
+	// any regression of it) visible in the recorded perf trajectory.
+	HeapMB float64
+	LogLen int64
+}
+
+// withRuntime copies a run's footprint measurements onto its point, so
+// every recorded BENCH row carries them.
+func withRuntime(p Point, r Result) Point {
+	p.HeapMB = r.HeapMB
+	p.LogLen = r.MaxLogLen
+	return p
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
@@ -98,10 +113,10 @@ func Fig4(s Scale) []Point {
 			cfg.ROClusters = m
 			cfg.RWWorkers = 2 // light background load, as in the paper
 			r := Run(cfg)
-			out = append(out, Point{
+			out = append(out, withRuntime(Point{
 				Experiment: "fig4", Series: string(proto), X: fmt.Sprintf("clusters=%d", m),
 				LatencyMS: ms(r.RO.Mean), P99MS: ms(r.RO.P99), ThroughputTPS: r.RO.Throughput,
-			})
+			}, r))
 		}
 	}
 	return out
@@ -117,12 +132,12 @@ func Fig5(s Scale) []Point {
 		cfg.ROClusters = m
 		cfg.RWWorkers = 4 // concurrent writers provoke repair rounds
 		r := Run(cfg)
-		out = append(out, Point{
+		out = append(out, withRuntime(Point{
 			Experiment: "fig5", Series: "TransEdge", X: fmt.Sprintf("clusters=%d", m),
 			LatencyMS: ms(r.RO.Mean), Round1MS: ms(r.Round1Mean),
 			Round2EffMS: r.Round2Frac * ms(r.Round2Extra), Round2Pct: 100 * r.Round2Frac,
 			ThroughputTPS: r.RO.Throughput,
-		})
+		}, r))
 	}
 	for m := 1; m <= 5; m++ {
 		cfg := s.base()
@@ -130,10 +145,10 @@ func Fig5(s Scale) []Point {
 		cfg.ROClusters = m
 		cfg.RWWorkers = 4
 		r := Run(cfg)
-		out = append(out, Point{
+		out = append(out, withRuntime(Point{
 			Experiment: "fig5", Series: "Augustus", X: fmt.Sprintf("clusters=%d", m),
 			LatencyMS: ms(r.RO.Mean), ThroughputTPS: r.RO.Throughput,
-		})
+		}, r))
 	}
 	return out
 }
@@ -149,10 +164,10 @@ func Fig6(s Scale) []Point {
 			cfg.ROWorkers = s.ROWorkers * 2 // closed-loop read pressure
 			cfg.RWWorkers = 0
 			r := Run(cfg)
-			out = append(out, Point{
+			out = append(out, withRuntime(Point{
 				Experiment: "fig6", Series: string(proto), X: fmt.Sprintf("clusters=%d", m),
 				ThroughputTPS: r.RO.Throughput, LatencyMS: ms(r.RO.Mean),
-			})
+			}, r))
 		}
 	}
 	return out
@@ -170,10 +185,10 @@ func Fig7(s Scale) []Point {
 			cfg.RWWorkers = 4
 			cfg.Duration = s.Duration * 2 // scans are slow; keep samples meaningful
 			r := Run(cfg)
-			out = append(out, Point{
+			out = append(out, withRuntime(Point{
 				Experiment: "fig7", Series: string(proto), X: fmt.Sprintf("readops=%d", scan),
 				LatencyMS: ms(r.RO.Mean), AbortPct: r.RW.AbortPct(),
-			})
+			}, r))
 		}
 	}
 	return out
@@ -189,10 +204,10 @@ func Fig8(s Scale) []Point {
 		cfg.ROWorkers = s.ROWorkers * 2
 		cfg.RWWorkers = 0
 		r := Run(cfg)
-		out = append(out, Point{
+		out = append(out, withRuntime(Point{
 			Experiment: "fig8", Series: "TransEdge", X: fmt.Sprintf("latency=%dms", lat),
 			ThroughputTPS: r.RO.Throughput, LatencyMS: ms(r.RO.Mean),
-		})
+		}, r))
 	}
 	return out
 }
@@ -222,10 +237,10 @@ func Fig9(s Scale) []Point {
 			cfg.ReadOps = v.readOps
 			cfg.WriteOps = 3
 			r := Run(cfg)
-			out = append(out, Point{
+			out = append(out, withRuntime(Point{
 				Experiment: "fig9", Series: v.series, X: fmt.Sprintf("batch=%d", bs),
 				ThroughputTPS: r.RW.Throughput, LatencyMS: ms(r.RW.Mean),
-			})
+			}, r))
 		}
 	}
 	return out
@@ -245,11 +260,11 @@ func Fig10and11(s Scale) []Point {
 			cfg.ReadOps, cfg.WriteOps = skew[0], skew[1]
 			cfg.LocalFraction = 0
 			r := Run(cfg)
-			out = append(out, Point{
+			out = append(out, withRuntime(Point{
 				Experiment: "fig10+11", Series: fmt.Sprintf("batch=%d", bs),
 				X:         fmt.Sprintf("R=%d,W=%d", skew[0], skew[1]),
 				LatencyMS: ms(r.RW.Mean), ThroughputTPS: r.RW.Throughput, AbortPct: r.RW.AbortPct(),
-			})
+			}, r))
 		}
 	}
 	return out
@@ -268,11 +283,11 @@ func Fig12(s Scale) []Point {
 			cfg.LocalFraction = 0
 			cfg.InterLatency += time.Duration(lat) * s.LatencyUnit
 			r := Run(cfg)
-			out = append(out, Point{
+			out = append(out, withRuntime(Point{
 				Experiment: "fig12", Series: fmt.Sprintf("batch=%d", bs),
 				X:             fmt.Sprintf("latency=%dms", lat),
 				ThroughputTPS: r.RW.Throughput, LatencyMS: ms(r.RW.Mean),
-			})
+			}, r))
 		}
 	}
 	return out
@@ -296,11 +311,11 @@ func Fig13(s Scale) []Point {
 			cfg.Keys = s.Keys / 4 // hotter keyspace so conflicts materialize
 			cfg.InterLatency += time.Duration(lat) * s.LatencyUnit
 			r := Run(cfg)
-			out = append(out, Point{
+			out = append(out, withRuntime(Point{
 				Experiment: "fig13", Series: fmt.Sprintf("latency=%dms", lat),
 				X:        fmt.Sprintf("batch=%d", bs),
 				AbortPct: r.RW.AbortPct(), ThroughputTPS: r.RW.Throughput,
-			})
+			}, r))
 		}
 	}
 	return out
@@ -317,11 +332,11 @@ func Fig14(s Scale) []Point {
 			cfg.ROWorkers = 0
 			cfg.LocalFraction = float64(local) / 100
 			r := Run(cfg)
-			out = append(out, Point{
+			out = append(out, withRuntime(Point{
 				Experiment: "fig14", Series: fmt.Sprintf("batch=%d", bs),
 				X:             fmt.Sprintf("LRWT=%d%%", local),
 				ThroughputTPS: r.RW.Throughput, LatencyMS: ms(r.RW.Mean),
-			})
+			}, r))
 		}
 	}
 	return out
@@ -340,11 +355,11 @@ func Fig15(s Scale) []Point {
 			cfg.ROWorkers = 0
 			cfg.LocalFraction = 0
 			r := Run(cfg)
-			out = append(out, Point{
+			out = append(out, withRuntime(Point{
 				Experiment: "fig15", Series: fmt.Sprintf("f=%d", f),
 				X:         fmt.Sprintf("batch=%d", bs),
 				LatencyMS: ms(r.RW.Mean), ThroughputTPS: r.RW.Throughput,
-			})
+			}, r))
 		}
 	}
 	return out
@@ -380,10 +395,10 @@ func Table1(s Scale) []Point {
 		if delta < 0 {
 			delta = 0
 		}
-		out = append(out, Point{
+		out = append(out, withRuntime(Point{
 			Experiment: "table1", Series: "TransEdge", X: fmt.Sprintf("clusters=%d", m),
 			AbortPct: delta,
-		})
+		}, rWithout))
 
 		aug := s.base()
 		aug.Protocol = Augustus
@@ -396,10 +411,10 @@ func Table1(s Scale) []Point {
 		if attempts > 0 {
 			pct = 100 * float64(rAug.LockAborts) / float64(attempts)
 		}
-		out = append(out, Point{
+		out = append(out, withRuntime(Point{
 			Experiment: "table1", Series: "Augustus", X: fmt.Sprintf("clusters=%d", m),
 			AbortPct: pct,
-		})
+		}, rAug))
 	}
 	return out
 }
@@ -437,12 +452,12 @@ func Pipeline(s Scale) []Point {
 		cfg.BatchInterval = 20 * s.LatencyUnit
 		cfg.Duration = s.Duration * 2
 		r := Run(cfg)
-		out = append(out, Point{
+		out = append(out, withRuntime(Point{
 			Experiment: "pipeline", Series: "TransEdge",
 			X:             fmt.Sprintf("depth=%d", depth),
 			ThroughputTPS: r.RW.Throughput, LatencyMS: ms(r.RW.Mean),
 			P99MS: ms(r.RW.P99), AbortPct: r.RW.AbortPct(),
-		})
+		}, r))
 	}
 	return out
 }
@@ -504,12 +519,12 @@ func Hotpath(s Scale) []Point {
 			cfg.Duration = s.Duration * 4
 			runtime.GC() // level GC debt between points
 			r := Run(cfg)
-			out = append(out, Point{
+			out = append(out, withRuntime(Point{
 				Experiment: "hotpath", Series: mode.name,
 				X:             fmt.Sprintf("depth=%d", depth),
 				ThroughputTPS: r.RW.Throughput, LatencyMS: ms(r.RW.Mean),
 				P99MS: ms(r.RW.P99), AbortPct: r.RW.AbortPct(),
-			})
+			}, r))
 		}
 	}
 	setHotpathOptimizations(true)
@@ -550,12 +565,12 @@ func ReadScale(s Scale) []Point {
 			cfg.Duration = s.Duration * 2
 			runtime.GC() // level GC debt between points
 			r := Run(cfg)
-			out = append(out, Point{
+			out = append(out, withRuntime(Point{
 				Experiment: "readscale", Series: fmt.Sprintf("shards=%d", shards),
 				X:             fmt.Sprintf("ro=%d%%", roPct),
 				ThroughputTPS: r.RO.Throughput, LatencyMS: ms(r.RO.Mean),
 				P99MS: ms(r.RO.P99), AbortPct: r.RW.AbortPct(),
-			})
+			}, r))
 		}
 	}
 	return out
@@ -579,11 +594,12 @@ var Experiments = map[string]func(Scale) []Point{
 	"pipeline":  Pipeline,
 	"hotpath":   Hotpath,
 	"readscale": ReadScale,
+	"recovery":  Recovery,
 }
 
 // Order lists experiments in paper order for -experiment all.
 var Order = []string{
 	"fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 	"fig10", "fig12", "fig13", "fig14", "fig15", "table1",
-	"pipeline", "hotpath", "readscale",
+	"pipeline", "hotpath", "readscale", "recovery",
 }

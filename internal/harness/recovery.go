@@ -1,0 +1,187 @@
+// The recovery experiment: kill a follower replica mid-run, restart it,
+// and measure (a) that commit throughput never stalls while it is down
+// and (b) how long the restarted replica takes to state-transfer and
+// catch back up to the live tip. This is the fault-injection scenario
+// the checkpointing subsystem (DESIGN.md §6) exists to serve.
+package harness
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"transedge/internal/client"
+	"transedge/internal/core"
+	"transedge/internal/workload"
+)
+
+// RecoveryResult captures one recovery run's phases.
+type RecoveryResult struct {
+	// Baseline, Degraded, Recovered are the read-write commit stats for
+	// the three load phases: all replicas up, one follower crashed, and
+	// after its restart.
+	Baseline  Stats
+	Degraded  Stats
+	Recovered Stats
+	// Catchup is how long the restarted replica took from Start until
+	// its committed tip reached the leader's (within pipeline slack).
+	Catchup time.Duration
+	// CaughtUp reports whether the replica made it before the deadline.
+	CaughtUp bool
+	// StateTransfers / SuffixReplayed are the restarted replica's
+	// recovery metrics; LogTruncated sums truncation across replicas.
+	StateTransfers int64
+	SuffixReplayed int64
+	LogTruncated   int64
+	HeapMB         float64
+	MaxLogLen      int64
+}
+
+// RunRecovery executes the crash/restart scenario. Each phase runs for
+// cfg.Duration; the catch-up deadline is ten times that.
+func RunRecovery(cfg Config) RecoveryResult {
+	cfg = cfg.withDefaults()
+	gen := workload.New(workload.Config{
+		Keys: cfg.Keys, ValueSize: cfg.ValueSize, Clusters: cfg.Clusters, Seed: cfg.Seed,
+	})
+	sys := core.NewSystem(core.SystemConfig{
+		Clusters:             cfg.Clusters,
+		F:                    cfg.F,
+		Seed:                 uint64(cfg.Seed),
+		BatchInterval:        cfg.BatchInterval,
+		BatchMaxSize:         cfg.BatchMaxSize,
+		PipelineDepth:        cfg.PipelineDepth,
+		StoreShards:          cfg.StoreShards,
+		ReadExecutors:        cfg.ReadExecutors,
+		CheckpointInterval:   cfg.CheckpointInterval,
+		StateTransferTimeout: cfg.StateTransferTimeout,
+		RetainBatches:        cfg.RetainBatches,
+		IntraLatency:         cfg.IntraLatency,
+		InterLatency:         cfg.InterLatency,
+		InitialData:          gen.InitialData(),
+	})
+	sys.Start()
+
+	// Phase-aware collection: workers record into whichever collector is
+	// current, so each phase's throughput is measured separately.
+	var (
+		phases  [3]collector
+		phase   atomic.Int32
+		stop    atomic.Bool
+		wg      sync.WaitGroup
+		crashed = core.NodeID{Cluster: 0, Replica: int32(3 * cfg.F)} // highest follower
+		leader  = core.NodeID{Cluster: 0, Replica: 0}
+	)
+	for w := 0; w < cfg.RWWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := client.New(client.Config{
+				ID: uint32(200 + w), Net: sys.Net, Ring: sys.Ring, Part: sys.Part,
+				Clusters: cfg.Clusters, Timeout: 30 * time.Second, Seed: cfg.Seed,
+			})
+			g := workload.New(workload.Config{
+				Keys: cfg.Keys, ValueSize: cfg.ValueSize, Clusters: cfg.Clusters,
+				Seed: cfg.Seed + int64(w)*17, ReadOps: asWorkloadOps(cfg.ReadOps),
+				WriteOps:      asWorkloadOps(cfg.WriteOps),
+				LocalFraction: cfg.LocalFraction,
+			})
+			for !stop.Load() {
+				runRW(c, g, &phases[phase.Load()])
+			}
+		}(w)
+	}
+
+	// Phase 0: all replicas up.
+	time.Sleep(cfg.Duration)
+
+	// Phase 1: crash a follower; commits must keep flowing on the
+	// remaining 2f+1 quorum.
+	phase.Store(1)
+	sys.StopReplica(crashed)
+	time.Sleep(cfg.Duration)
+
+	// Phase 2: restart it and measure catch-up against the moving tip.
+	phase.Store(2)
+	restarted := sys.RestartReplica(crashed)
+	started := time.Now()
+	deadline := started.Add(10 * cfg.Duration)
+	res := RecoveryResult{}
+	for time.Now().Before(deadline) {
+		lead := sys.Node(leader).Tip()
+		if got := restarted.Tip(); lead > 0 && got >= lead-int64(cfg.PipelineDepth)-1 {
+			res.CaughtUp = true
+			break
+		}
+		time.Sleep(cfg.Duration / 50)
+	}
+	res.Catchup = time.Since(started)
+	time.Sleep(cfg.Duration)
+
+	stop.Store(true)
+	wg.Wait()
+	res.Baseline = phases[0].stats(cfg.Duration)
+	res.Degraded = phases[1].stats(cfg.Duration)
+	res.Recovered = phases[2].stats(cfg.Duration + res.Catchup)
+	res.HeapMB = liveHeapMB()
+	// Stop (not deferred: per-replica state below must be read
+	// quiescent) before collecting windows and metrics.
+	sys.Stop()
+	res.MaxLogLen = maxLogLen(sys)
+	res.StateTransfers = restarted.Metrics.StateTransfers
+	res.SuffixReplayed = restarted.Metrics.SuffixReplayed
+	res.LogTruncated = sys.NodeMetrics(func(m *core.Metrics) int64 { return m.LogTruncated })
+	return res
+}
+
+// Recovery — the harness experiment: one cluster under sustained local
+// write load, a follower crashed for a phase and restarted. Rows record
+// per-phase commit throughput (the "commits never stall" claim: the
+// follower-down and recovered rows stay at the baseline's level) and the
+// catch-up latency of the state transfer.
+func Recovery(s Scale) []Point {
+	cfg := s.base()
+	cfg.Protocol = TransEdge
+	cfg.Clusters = 1
+	cfg.ROWorkers = 0
+	cfg.RWWorkers = s.RWWorkers * 2
+	cfg.LocalFraction = 1.0
+	cfg.ReadOps = NoOps
+	cfg.WriteOps = 3
+	// Checkpoints every 16 batches keep the window (and the suffix a
+	// restart must replay) small relative to the run; the transfer
+	// timeout is tight so empty pre-checkpoint responses retry quickly.
+	cfg.CheckpointInterval = 16
+	cfg.StateTransferTimeout = 10 * time.Millisecond
+	cfg.RetainBatches = 32
+	cfg.IntraLatency = 2 * s.LatencyUnit
+	cfg.InterLatency = 2 * s.LatencyUnit
+	r := RunRecovery(cfg)
+
+	rt := Result{HeapMB: r.HeapMB, MaxLogLen: r.MaxLogLen}
+	catchupMS := ms(r.Catchup)
+	if !r.CaughtUp {
+		catchupMS = -1 // sentinel: the deadline expired
+	}
+	return []Point{
+		withRuntime(Point{
+			Experiment: "recovery", Series: "TransEdge", X: "baseline",
+			ThroughputTPS: r.Baseline.Throughput, LatencyMS: ms(r.Baseline.Mean),
+			P99MS: ms(r.Baseline.P99), AbortPct: r.Baseline.AbortPct(),
+		}, rt),
+		withRuntime(Point{
+			Experiment: "recovery", Series: "TransEdge", X: "follower-down",
+			ThroughputTPS: r.Degraded.Throughput, LatencyMS: ms(r.Degraded.Mean),
+			P99MS: ms(r.Degraded.P99), AbortPct: r.Degraded.AbortPct(),
+		}, rt),
+		withRuntime(Point{
+			Experiment: "recovery", Series: "TransEdge", X: "recovered",
+			ThroughputTPS: r.Recovered.Throughput, LatencyMS: ms(r.Recovered.Mean),
+			P99MS: ms(r.Recovered.P99), AbortPct: r.Recovered.AbortPct(),
+		}, rt),
+		withRuntime(Point{
+			Experiment: "recovery", Series: "TransEdge", X: "catchup",
+			LatencyMS: catchupMS,
+		}, rt),
+	}
+}

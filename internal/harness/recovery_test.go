@@ -1,0 +1,55 @@
+package harness
+
+import "testing"
+
+// TestRecoveryExperiment pins the recovery scenario end to end at test
+// scale: the crashed follower's absence never stalls commits, the
+// restarted replica catches up via state transfer before the deadline,
+// and the memory-bounding metrics are populated.
+func TestRecoveryExperiment(t *testing.T) {
+	pts := Recovery(tinyScale)
+	byX := make(map[string]Point, len(pts))
+	for _, p := range pts {
+		byX[p.X] = p
+	}
+	base, ok := byX["baseline"]
+	if !ok {
+		t.Fatal("missing baseline row")
+	}
+	if base.ThroughputTPS <= 0 {
+		t.Fatal("no baseline commit throughput")
+	}
+	down := byX["follower-down"]
+	if down.ThroughputTPS <= 0 {
+		t.Fatal("commits stalled while the follower was down")
+	}
+	rec := byX["recovered"]
+	if rec.ThroughputTPS <= 0 {
+		t.Fatal("commits stalled after the restart")
+	}
+	catch := byX["catchup"]
+	if catch.LatencyMS < 0 {
+		t.Fatal("restarted replica never caught up within the deadline")
+	}
+	if base.HeapMB <= 0 {
+		t.Fatal("heap footprint not recorded")
+	}
+	if base.LogLen <= 0 {
+		t.Fatal("log window length not recorded")
+	}
+}
+
+// TestRunRecordsRuntimeFootprint: every ordinary Run result carries the
+// memory metrics the BENCH rows record.
+func TestRunRecordsRuntimeFootprint(t *testing.T) {
+	cfg := tinyScale.base()
+	cfg.Protocol = TransEdge
+	cfg.Clusters = 2
+	r := Run(cfg)
+	if r.HeapMB <= 0 {
+		t.Fatalf("HeapMB = %v", r.HeapMB)
+	}
+	if r.MaxLogLen <= 0 {
+		t.Fatalf("MaxLogLen = %v", r.MaxLogLen)
+	}
+}

@@ -7,6 +7,7 @@ package harness
 
 import (
 	"errors"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -56,6 +57,15 @@ type Config struct {
 	// sweeps them.
 	StoreShards   int
 	ReadExecutors int
+
+	// CheckpointInterval / StateTransferTimeout shape the stable-
+	// checkpoint subsystem (0 = system defaults; the recovery experiment
+	// sets them explicitly so crashes recover within its window).
+	CheckpointInterval   int
+	StateTransferTimeout time.Duration
+	// RetainBatches bounds each replica's historical snapshot window
+	// (0 = keep everything, the system default).
+	RetainBatches int
 
 	// Worker counts (the paper uses 2 clients x 10 threads).
 	ROWorkers int
@@ -150,6 +160,13 @@ func (s Stats) AbortPct() float64 {
 type Result struct {
 	RO Stats
 	RW Stats
+
+	// HeapMB is the live heap (runtime.ReadMemStats HeapAlloc, after a
+	// collection) at the end of the measurement window, and MaxLogLen
+	// the longest retained log window across replicas — the pair that
+	// makes the checkpointing memory bound visible in every BENCH row.
+	HeapMB    float64
+	MaxLogLen int64
 
 	// Round-split metrics for TransEdge read-only transactions (Fig. 5):
 	// Round1Mean is the mean latency of single-round transactions;
@@ -290,20 +307,22 @@ func runTransEdgeLike(cfg Config) Result {
 		Keys: cfg.Keys, ValueSize: cfg.ValueSize, Clusters: cfg.Clusters, Seed: cfg.Seed,
 	})
 	sys := core.NewSystem(core.SystemConfig{
-		Clusters:      cfg.Clusters,
-		F:             cfg.F,
-		Seed:          uint64(cfg.Seed),
-		BatchInterval: cfg.BatchInterval,
-		BatchMaxSize:  cfg.BatchMaxSize,
-		PipelineDepth: cfg.PipelineDepth,
-		StoreShards:   cfg.StoreShards,
-		ReadExecutors: cfg.ReadExecutors,
-		IntraLatency:  cfg.IntraLatency,
-		InterLatency:  cfg.InterLatency,
-		InitialData:   gen.InitialData(),
+		Clusters:             cfg.Clusters,
+		F:                    cfg.F,
+		Seed:                 uint64(cfg.Seed),
+		BatchInterval:        cfg.BatchInterval,
+		BatchMaxSize:         cfg.BatchMaxSize,
+		PipelineDepth:        cfg.PipelineDepth,
+		StoreShards:          cfg.StoreShards,
+		ReadExecutors:        cfg.ReadExecutors,
+		CheckpointInterval:   cfg.CheckpointInterval,
+		StateTransferTimeout: cfg.StateTransferTimeout,
+		RetainBatches:        cfg.RetainBatches,
+		IntraLatency:         cfg.IntraLatency,
+		InterLatency:         cfg.InterLatency,
+		InitialData:          gen.InitialData(),
 	})
 	sys.Start()
-	defer sys.Stop()
 
 	newClient := func(id uint32) *client.Client {
 		return client.New(client.Config{
@@ -417,9 +436,14 @@ func runTransEdgeLike(cfg Config) Result {
 	wg.Wait()
 
 	res := Result{
-		RO: roCol.stats(cfg.Duration),
-		RW: rwCol.stats(cfg.Duration),
+		RO:     roCol.stats(cfg.Duration),
+		RW:     rwCol.stats(cfg.Duration),
+		HeapMB: liveHeapMB(),
 	}
+	// Stop (not deferred: the log windows must be read quiescent, and
+	// the ordering matters) before collecting per-replica state.
+	sys.Stop()
+	res.MaxLogLen = maxLogLen(sys)
 	res.Round1Mean = mean(roCol.round1)
 	if n := len(roCol.round2); n > 0 {
 		res.Round2Frac = float64(n) / float64(len(roCol.round1)+n)
@@ -544,7 +568,35 @@ func runAugustus(cfg Config) Result {
 		RO:         roCol.stats(cfg.Duration),
 		RW:         rwCol.stats(cfg.Duration),
 		LockAborts: sys.RWLockAborts(),
+		HeapMB:     liveHeapMB(),
 	}
+}
+
+// liveHeapMB reports the live heap after a collection, so BENCH rows
+// record steady-state retention rather than transient garbage.
+func liveHeapMB() float64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return float64(ms.HeapAlloc) / (1 << 20)
+}
+
+// maxLogLen returns the longest retained log window across replicas of a
+// stopped system.
+func maxLogLen(sys *core.System) int64 {
+	var max int64
+	for c := 0; c < sys.Cfg.Clusters; c++ {
+		for r := 0; r < sys.ReplicasPerCluster(); r++ {
+			node := sys.Node(core.NodeID{Cluster: int32(c), Replica: int32(r)})
+			if node == nil {
+				continue
+			}
+			if _, l := node.LogWindow(); int64(l) > max {
+				max = int64(l)
+			}
+		}
+	}
+	return max
 }
 
 // asWorkloadOps converts a resolved op count (0 = explicitly none) into

@@ -515,6 +515,27 @@ func VerifyAbsence(root Digest, key []byte, proof AbsenceProof) error {
 	return nil
 }
 
+// ExportLeaves returns every (keyHash, valHash) binding of this version
+// in trie order (ascending key hash), for tests and offline tooling.
+// Note that state transfer does NOT ship merkle leaves: it ships raw
+// store entries (key, value, writer) and the receiver rebuilds the tree
+// from them with Build, comparing the root against the certified one.
+func (t *Tree) ExportLeaves() []Update {
+	out := make([]Update, 0, t.size)
+	t.Walk(func(keyHash, valHash Digest) {
+		out = append(out, Update{KeyHash: keyHash, ValHash: valHash})
+	})
+	return out
+}
+
+// Build constructs a tree version directly from a set of bindings in one
+// bulk pass (state-transfer install: a joining replica rebuilds the
+// checkpoint tree from the snapshot and compares its root against the
+// certified one). The input slice is reordered in place.
+func Build(ups []Update) *Tree {
+	return New().ApplyBulk(ups)
+}
+
 // Walk visits every (keyHash, valHash) leaf in the version, in trie order.
 // Intended for tests and debugging tools.
 func (t *Tree) Walk(fn func(keyHash, valHash Digest)) {

@@ -1,0 +1,172 @@
+package protocol
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"transedge/internal/cryptoutil"
+)
+
+// normTxn maps empty write values to nil: the decoder returns nil for
+// zero-length fields, so round-trip comparisons normalize first.
+func normTxn(t Transaction) Transaction {
+	out := cloneTxn(t)
+	for i := range out.Writes {
+		if len(out.Writes[i].Value) == 0 {
+			out.Writes[i].Value = nil
+		}
+	}
+	if len(out.Reads) == 0 {
+		out.Reads = nil
+	}
+	if len(out.Writes) == 0 {
+		out.Writes = nil
+	}
+	if len(out.Partitions) == 0 {
+		out.Partitions = nil
+	}
+	return out
+}
+
+func TestCheckpointEncodingRoundTrip(t *testing.T) {
+	f := func(cluster int32, batchID int64, digest [32]byte, replica int32, sig []byte) bool {
+		if len(sig) == 0 {
+			sig = nil
+		}
+		in := &Checkpoint{
+			Cluster: cluster, BatchID: batchID,
+			StateDigest: Digest(digest), Replica: replica, Sig: sig,
+		}
+		out, err := DecodeCheckpoint(EncodeCheckpoint(in))
+		return err == nil && reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateRequestEncodingRoundTrip(t *testing.T) {
+	f := func(cluster, replica int32, have int64) bool {
+		in := &StateRequest{From: cryptoutil.NodeID{Cluster: cluster, Replica: replica}, HaveBatch: have}
+		out, err := DecodeStateRequest(EncodeStateRequest(in))
+		return err == nil && reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotEntryEncodingRoundTrip(t *testing.T) {
+	f := func(key string, value []byte, writer int64) bool {
+		if len(value) == 0 {
+			value = nil
+		}
+		in := &SnapshotEntry{Key: key, Value: value, Writer: writer}
+		out, err := DecodeSnapshotEntry(EncodeSnapshotEntry(in))
+		return err == nil && reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointGroupEncodingRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		in := &CheckpointGroup{PrepareBatch: r.Int63n(1000)}
+		for j := r.Intn(4); j > 0; j-- {
+			in.Recs = append(in.Recs, PrepareRecord{Txn: normTxn(randTxn(r)), CoordCluster: int32(r.Intn(5))})
+		}
+		out, err := DecodeCheckpointGroup(EncodeCheckpointGroup(in))
+		if err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("round %d: decoded %+v, want %+v", i, out, in)
+		}
+	}
+}
+
+func TestTransactionEncodingRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 100; i++ {
+		in := normTxn(randTxn(r))
+		out, err := DecodeTransaction(EncodeTransaction(&in))
+		if err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(&in, out) {
+			t.Fatalf("round %d: decoded %+v, want %+v", i, out, in)
+		}
+	}
+}
+
+func TestDecodeRejectsTruncatedAndTrailing(t *testing.T) {
+	c := &Checkpoint{Cluster: 1, BatchID: 64, Replica: 2, Sig: []byte("sig")}
+	b := EncodeCheckpoint(c)
+	for cut := 1; cut < len(b); cut++ {
+		if _, err := DecodeCheckpoint(b[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := DecodeCheckpoint(append(append([]byte(nil), b...), 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+// TestSnapshotDigestDependsOnWritersAndOrder checks the digest covers
+// exactly what it must: keys and writers (order-sensitive — entries are
+// canonically sorted by key), not values (those are authenticated by the
+// checkpoint header's Merkle root instead).
+func TestSnapshotDigestDependsOnWritersAndOrder(t *testing.T) {
+	a := []SnapshotEntry{{Key: "a", Value: []byte("1"), Writer: 3}, {Key: "b", Value: []byte("2"), Writer: 5}}
+	base := SnapshotDigest(a)
+
+	writerChanged := []SnapshotEntry{{Key: "a", Value: []byte("1"), Writer: 4}, {Key: "b", Value: []byte("2"), Writer: 5}}
+	if SnapshotDigest(writerChanged) == base {
+		t.Fatal("digest ignored a writer change")
+	}
+	reordered := []SnapshotEntry{a[1], a[0]}
+	if SnapshotDigest(reordered) == base {
+		t.Fatal("digest ignored entry order")
+	}
+	valueChanged := []SnapshotEntry{{Key: "a", Value: []byte("x"), Writer: 3}, {Key: "b", Value: []byte("2"), Writer: 5}}
+	if SnapshotDigest(valueChanged) != base {
+		t.Fatal("digest should not cover values (the Merkle root does)")
+	}
+}
+
+func TestGroupsDigestCoversRecordContent(t *testing.T) {
+	txn := Transaction{ID: 7, Writes: []WriteOp{{Key: "k", Value: []byte("v")}}, Partitions: []int32{0, 1}}
+	g := []CheckpointGroup{{PrepareBatch: 9, Recs: []PrepareRecord{{Txn: txn, CoordCluster: 1}}}}
+	base := GroupsDigest(g)
+
+	tampered := []CheckpointGroup{{PrepareBatch: 9, Recs: []PrepareRecord{{Txn: txn, CoordCluster: 0}}}}
+	if GroupsDigest(tampered) == base {
+		t.Fatal("digest ignored coordinator change")
+	}
+	txn2 := txn
+	txn2.Writes = []WriteOp{{Key: "k", Value: []byte("forged")}}
+	tampered2 := []CheckpointGroup{{PrepareBatch: 9, Recs: []PrepareRecord{{Txn: txn2, CoordCluster: 1}}}}
+	if GroupsDigest(tampered2) == base {
+		t.Fatal("digest ignored write-set change")
+	}
+	if GroupsDigest([]CheckpointGroup{{PrepareBatch: 8, Recs: g[0].Recs}}) == base {
+		t.Fatal("digest ignored prepare batch")
+	}
+}
+
+func TestCheckpointDigestBindsAllParts(t *testing.T) {
+	var h1, h2 Digest
+	h2[0] = 1
+	base := CheckpointDigest(0, 64, h1, h1, h1)
+	if CheckpointDigest(1, 64, h1, h1, h1) == base ||
+		CheckpointDigest(0, 65, h1, h1, h1) == base ||
+		CheckpointDigest(0, 64, h2, h1, h1) == base ||
+		CheckpointDigest(0, 64, h1, h2, h1) == base ||
+		CheckpointDigest(0, 64, h1, h1, h2) == base {
+		t.Fatal("checkpoint digest failed to bind a component")
+	}
+}

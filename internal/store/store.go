@@ -294,6 +294,64 @@ func (s *Store) LastWriters(keys []string) []int64 {
 	return out
 }
 
+// KV is one key's state in an exported snapshot: the value visible at
+// the export batch and the batch that wrote it. The writer rides along
+// because OCC validation on an importing replica compares read versions
+// against last-writer batches, which the values alone cannot restore.
+type KV struct {
+	Key    string
+	Value  []byte
+	Writer int64
+}
+
+// ExportAsOf captures the snapshot at asOf as a key-sorted slice of KV
+// entries: for every key, the newest version with writer <= asOf. The
+// iteration is per shard — each shard's read lock is held only for its
+// own scan — so concurrent readers and the (single) writer are never
+// stalled across the whole keyspace. Callers must ensure versions at
+// asOf have not been pruned (Prune keepFrom <= asOf).
+func (s *Store) ExportAsOf(asOf int64) []KV {
+	var out []KV
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k := range sh.data {
+			if v := sh.getAsOf(k, asOf); v.Found {
+				out = append(out, KV{Key: k, Value: v.Value, Writer: v.Writer})
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// ImportAsOf replaces the store's content with an exported snapshot:
+// every key gets exactly one version, tagged with its original writer
+// batch, and the StableBatch watermark is set to asOf. Shards are
+// replaced one write-lock at a time; a concurrent multi-shard snapshot
+// read can therefore observe a half-installed state — safe in TransEdge
+// because every read-only answer is Merkle-verified end to end, so a
+// torn read surfaces as a failed client verification and a retry, never
+// as silently wrong data (DESIGN.md §6).
+func (s *Store) ImportAsOf(asOf int64, entries []KV) {
+	byShard := make([][]KV, len(s.shards))
+	for _, e := range entries {
+		i := int(s.shardIndex(e.Key))
+		byShard[i] = append(byShard[i], e)
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.data = make(map[string][]version, len(byShard[i]))
+		for _, e := range byShard[i] {
+			sh.data[e.Key] = []version{{batch: e.Writer, value: e.Value}}
+		}
+		sh.mu.Unlock()
+	}
+	s.advanceStable(asOf)
+}
+
 // Keys returns the number of distinct keys stored.
 func (s *Store) Keys() int {
 	total := 0

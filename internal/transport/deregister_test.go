@@ -1,0 +1,57 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"transedge/internal/cryptoutil"
+)
+
+// TestDeregisterDropsQueueAndAllowsReRegister: deregistering a node
+// simulates a crash — queued messages are lost, the old channel closes,
+// and a re-registration starts from an empty mailbox.
+func TestDeregisterDropsQueueAndAllowsReRegister(t *testing.T) {
+	net := NewNetwork()
+	defer net.Stop()
+	a := cryptoutil.NodeID{Cluster: 0, Replica: 0}
+	b := cryptoutil.NodeID{Cluster: 0, Replica: 1}
+	net.Register(a)
+	old := net.Register(b)
+
+	net.Send(a, b, "before-crash")
+	net.Deregister(b)
+
+	// The old channel must close (possibly after draining in-flight
+	// pumps) rather than hang its consumer.
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case _, ok := <-old:
+			if !ok {
+				goto closed
+			}
+		case <-deadline:
+			t.Fatal("old mailbox channel never closed")
+		}
+	}
+closed:
+
+	// Messages sent while deregistered are dropped, not buffered.
+	net.Send(a, b, "while-down")
+
+	fresh := net.Register(b)
+	net.Send(a, b, "after-restart")
+	select {
+	case env := <-fresh:
+		if env.Payload != "after-restart" {
+			t.Fatalf("fresh mailbox delivered %v, want the post-restart message", env.Payload)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("fresh mailbox delivered nothing")
+	}
+	select {
+	case env := <-fresh:
+		t.Fatalf("unexpected extra delivery %v", env.Payload)
+	case <-time.After(50 * time.Millisecond):
+	}
+}

@@ -135,8 +135,19 @@ func (m *mailbox) pump() {
 func (m *mailbox) close() {
 	m.mu.Lock()
 	m.closed = true
+	// Drop whatever is still queued: a closed mailbox models a crashed
+	// (or stopped) node, whose undelivered messages are lost.
+	m.head, m.tail, m.headPos = nil, nil, 0
 	m.cond.Signal()
 	m.mu.Unlock()
+	// Drain the delivery channel so the pump exits even when the owning
+	// event loop already stopped reading (the crash/deregister path);
+	// out is closed by the pump once the queue is empty, ending this
+	// goroutine too.
+	go func() {
+		for range m.out {
+		}
+	}()
 }
 
 // Network routes envelopes between registered nodes with configurable
@@ -189,6 +200,22 @@ func (n *Network) Register(id NodeID) <-chan Envelope {
 	b := newMailbox()
 	n.boxes[id] = b
 	return b.out
+}
+
+// Deregister tears a node's mailbox down, simulating a crash: queued and
+// in-flight envelopes addressed to it are dropped, and a subsequent
+// Register(id) starts from an empty mailbox — exactly the message loss a
+// real process crash implies, which is what forces a restarted replica
+// through the state-transfer path instead of replaying a conveniently
+// preserved queue. The old delivery channel is closed once drained.
+func (n *Network) Deregister(id NodeID) {
+	n.mu.Lock()
+	box := n.boxes[id]
+	delete(n.boxes, id)
+	n.mu.Unlock()
+	if box != nil {
+		box.close()
+	}
 }
 
 // Send delivers payload from one node to another, subject to the latency

@@ -150,3 +150,64 @@ func TestROFractionMix(t *testing.T) {
 		}
 	}
 }
+
+// TestROFractionEdges pins the boundary semantics: an explicit 0.0 is
+// all read-write, and 1.0 is all read-only (rand.Float64 lives in
+// [0, 1), so `< 1.0` must hold for every draw — a `<=` regression or a
+// rounding change would break a pure-read workload sweep silently).
+func TestROFractionEdges(t *testing.T) {
+	zero := New(Config{Clusters: 3, Seed: 11, ROFraction: 0.0})
+	one := New(Config{Clusters: 3, Seed: 11, ROFraction: 1.0})
+	for i := 0; i < 5000; i++ {
+		if zero.NextIsRO() {
+			t.Fatalf("draw %d: ROFraction 0.0 produced a read-only op", i)
+		}
+		if !one.NextIsRO() {
+			t.Fatalf("draw %d: ROFraction 1.0 produced a read-write op", i)
+		}
+	}
+}
+
+// TestNextIsROCrossSeedDeterminism: for any seed, the NextIsRO stream —
+// including one interleaved with NextRW/NextRO draws, as mixed workers
+// interleave them — is a pure function of the seed, so every harness run
+// is reproducible; and distinct seeds actually decorrelate the streams.
+func TestNextIsROCrossSeedDeterminism(t *testing.T) {
+	draw := func(seed int64) []bool {
+		g := New(Config{Clusters: 2, Keys: 200, Seed: seed, ROFraction: 0.5})
+		out := make([]bool, 0, 200)
+		for i := 0; i < 200; i++ {
+			ro := g.NextIsRO()
+			out = append(out, ro)
+			// Interleave the class draw with the op generators exactly
+			// like a mixed worker does.
+			if ro {
+				g.NextRO()
+			} else {
+				g.NextRW()
+			}
+		}
+		return out
+	}
+	distinct := false
+	base := draw(0)
+	for seed := int64(0); seed < 20; seed++ {
+		a, b := draw(seed), draw(seed)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d: NextIsRO stream not deterministic at draw %d", seed, i)
+			}
+		}
+		if seed > 0 {
+			for i := range a {
+				if a[i] != base[i] {
+					distinct = true
+					break
+				}
+			}
+		}
+	}
+	if !distinct {
+		t.Fatal("every seed produced the identical NextIsRO stream")
+	}
+}

@@ -71,6 +71,16 @@ type Options struct {
 	// ReadExecutors sizes each replica's pool serving read-only
 	// transactions off the consensus loop (default: GOMAXPROCS).
 	ReadExecutors int
+	// CheckpointInterval is how many batches apart replicas establish
+	// stable checkpoints (PBFT-style 2f+1 checkpoint quorums). Stable
+	// checkpoints bound each replica's in-memory log window and let a
+	// crashed or lagging replica rejoin via state transfer. Default 64;
+	// negative disables checkpointing (unbounded log, no recovery).
+	CheckpointInterval int
+	// StateTransferTimeout bounds how long a recovering replica waits
+	// for a peer's state response before asking the next peer
+	// (default 1s).
+	StateTransferTimeout time.Duration
 
 	// IntraClusterLatency and InterClusterLatency shape the simulated
 	// network (defaults: zero).
@@ -114,18 +124,20 @@ func Start(opts Options) (*System, error) {
 		return nil, fmt.Errorf("%w: F must be >= 1", ErrBadOptions)
 	}
 	sys := core.NewSystem(core.SystemConfig{
-		Clusters:        opts.Clusters,
-		F:               opts.F,
-		Seed:            opts.Seed,
-		BatchInterval:   opts.BatchInterval,
-		BatchMaxSize:    opts.BatchMaxSize,
-		PipelineDepth:   opts.PipelineDepth,
-		StoreShards:     opts.StoreShards,
-		ReadExecutors:   opts.ReadExecutors,
-		IntraLatency:    opts.IntraClusterLatency,
-		InterLatency:    opts.InterClusterLatency,
-		FreshnessWindow: opts.FreshnessWindow,
-		InitialData:     opts.InitialData,
+		Clusters:             opts.Clusters,
+		F:                    opts.F,
+		Seed:                 opts.Seed,
+		BatchInterval:        opts.BatchInterval,
+		BatchMaxSize:         opts.BatchMaxSize,
+		PipelineDepth:        opts.PipelineDepth,
+		StoreShards:          opts.StoreShards,
+		ReadExecutors:        opts.ReadExecutors,
+		CheckpointInterval:   opts.CheckpointInterval,
+		StateTransferTimeout: opts.StateTransferTimeout,
+		IntraLatency:         opts.IntraClusterLatency,
+		InterLatency:         opts.InterClusterLatency,
+		FreshnessWindow:      opts.FreshnessWindow,
+		InitialData:          opts.InitialData,
 	})
 	sys.Start()
 	return &System{sys: sys, opts: opts}, nil
