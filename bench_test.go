@@ -468,6 +468,30 @@ func BenchmarkRecovery(b *testing.B) {
 	}
 }
 
+// BenchmarkViewChange — the leader-failover experiment: commit
+// throughput before the leader is killed, through the view-change dip,
+// and under the new leader, plus the failover latency itself. Run by the
+// CI bench smoke so BENCH_viewchange.json cannot silently rot.
+func BenchmarkViewChange(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := harness.ViewChange(benchScale)
+		base := pick(pts, "TransEdge", "baseline")
+		down := pick(pts, "TransEdge", "leader-down")
+		rec := pick(pts, "TransEdge", "recovered")
+		fail := pick(pts, "TransEdge", "failover")
+		if base == nil || down == nil || rec == nil || fail == nil {
+			b.Fatal("missing series")
+		}
+		if fail.LatencyMS < 0 {
+			b.Fatal("cluster never failed over to a new leader")
+		}
+		b.ReportMetric(base.ThroughputTPS, "tps_baseline")
+		b.ReportMetric(down.ThroughputTPS, "tps_leader_down")
+		b.ReportMetric(rec.ThroughputTPS, "tps_recovered")
+		b.ReportMetric(fail.LatencyMS, "failover_ms")
+	}
+}
+
 // BenchmarkTable1ReadOnlyInterference — read-write aborts caused by
 // read-only transactions: ~0 for TransEdge, growing with cluster count
 // for Augustus.

@@ -23,13 +23,20 @@
 // callback before voting, so a malicious leader cannot get an inconsistent
 // batch certified — the safety property the paper relies on in Sec. 3.2.
 //
-// View changes (leader replacement) are inherited from BFT-SMaRt in the
-// paper and are out of scope here: a byzantine leader can stall its
-// cluster but never violate safety, which the package tests demonstrate.
+// Leader replacement follows PBFT's view-change protocol (the paper
+// inherits this behavior from BFT-SMaRt): views number the leadership
+// epochs, the leader of view v is replica v mod n, and when the enclosing
+// node's progress timer suspects the leader it calls SuspectLeader to
+// vote the cluster into the next view. The vote carries the replica's
+// certified tip and its prepared-but-undelivered frontier; 2f+1 votes
+// form a NewView certificate from which every replica independently
+// recomputes the slots that must be re-proposed — see viewchange.go and
+// DESIGN.md §7 for the machinery and the safety argument.
 //
-// The Replica type is passive: it owns no goroutine. The enclosing node's
-// event loop feeds it messages via Handle, keeping each replica
-// single-threaded and deterministic.
+// The Replica type is passive: it owns no goroutine and no timer. The
+// enclosing node's event loop feeds it messages via Handle and drives
+// suspicion from its own tick, keeping each replica single-threaded and
+// deterministic.
 package bft
 
 import (
@@ -76,6 +83,17 @@ type Config struct {
 	// GenesisDigest chains the first proposed batch to the trusted
 	// genesis batch (the initial data load).
 	GenesisDigest protocol.Digest
+	// GenesisHeader and GenesisCert seed the certified tip carried in
+	// view-change votes before anything has been delivered. Optional when
+	// view changes are never triggered (pure unit-test configs).
+	GenesisHeader protocol.BatchHeader
+	GenesisCert   cryptoutil.Certificate
+
+	// Rebase, when set, is invoked after a new view is installed, before
+	// the re-proposed frontier enters consensus: the enclosing node drops
+	// or re-bases its speculative pipeline onto the frontier batches and
+	// re-routes client traffic to the new leader.
+	Rebase func(view uint64, frontier []*protocol.Batch)
 
 	// MaxInFlight bounds how many proposals the leader may have between
 	// Propose and delivery. Values <= 1 give the classic stop-and-wait
@@ -103,36 +121,56 @@ type Config struct {
 
 // Message types exchanged within a cluster.
 
-// PrePrepare is the leader's proposal of the next batch.
+// PrePrepare is the leader's proposal of the next batch in its view.
 type PrePrepare struct {
+	View      uint64
 	Batch     *protocol.Batch
 	LeaderSig []byte // leader's signature over the batch digest
 }
 
-// Prepare is a replica's vote that it accepts the proposal.
+// Prepare is a replica's vote that it accepts the proposal. Sig signs
+// protocol.PrepareSigDigest(cluster, View, ID, Digest) and is verified on
+// receipt, so any 2f+1 counted prepares are a transferable prepare
+// certificate — the evidence view-change votes carry.
 type Prepare struct {
+	View   uint64
 	ID     int64
 	Digest protocol.Digest
+	Sig    []byte
 }
 
 // Commit is a replica's second-phase vote; CertSig is its certificate
-// signature over the batch-header digest.
+// signature over the batch-header digest. CertSig deliberately does NOT
+// cover View: a slot re-proposed with identical content after a view
+// change assembles its delivery certificate from commit votes cast in
+// any view, which is what lets delivery straddle a failover.
 type Commit struct {
+	View    uint64 // informational: the sender's view when it committed
 	ID      int64
 	Digest  protocol.Digest
 	CertSig []byte
 }
 
+// prepVote is one replica's verified prepare for a slot: the digest it
+// voted for, the view it voted in, and its signature over
+// PrepareSigDigest — kept so a view-change vote can relay it.
+type prepVote struct {
+	view   uint64
+	digest protocol.Digest
+	sig    []byte
+}
+
 // instance tracks one batch's consensus progress.
 type instance struct {
 	id        int64
+	view      uint64 // view this replica validated (or adopted) the slot in
 	batch     *protocol.Batch
 	digest    protocol.Digest
 	validated bool // Validate ran and passed; Prepare sent
 	committed bool // Commit sent
 	delivered bool
-	prepares  map[int32]protocol.Digest
-	commits   map[int32][]byte // replica -> valid cert sig (digest-matched)
+	prepares  map[int32]prepVote // replica -> newest-view verified prepare
+	commits   map[int32][]byte   // replica -> valid cert sig (digest-matched)
 	// pendingCommits buffers commit votes that arrived before this
 	// replica validated the proposal (message interleaving makes this
 	// common: peers only need 2f+1 prepares, not ours).
@@ -154,6 +192,30 @@ type Replica struct {
 	// lastValidated chains speculative validation: the digest of the
 	// newest validated slot, which the next slot's PrevDigest must match.
 	lastValidated protocol.Digest
+
+	// View-change state (viewchange.go). view is the current view; while
+	// viewActive is false the replica has voted the leader out (or holds a
+	// NewView it cannot install yet) and accepts no new proposals.
+	view       uint64
+	viewActive bool
+	// votedFor is the highest view this replica has cast a ViewChange
+	// vote for; it never votes the same or a lower view twice.
+	votedFor uint64
+	// vcVotes holds at most one verified ViewChange vote per replica (its
+	// newest), keyed by target view then voter.
+	vcVotes map[uint64]map[int32]*protocol.ViewChange
+	// lastHeader/lastCert are the certified tip carried in view-change
+	// votes: the newest delivered batch header and an f+1 certificate
+	// over its digest (genesis until the first delivery).
+	lastHeader protocol.BatchHeader
+	lastCert   cryptoutil.Certificate
+	// pendingNewView is a verified NewView this replica cannot install
+	// yet because its delivery point trails the certificate's global tip;
+	// retried after every delivery and after state transfer.
+	pendingNewView *protocol.NewView
+	// currentView mirrors view for cross-thread readers.
+	currentView atomic.Uint64
+	viewChanges atomic.Int64
 
 	// Equivocation evidence: leader proposals seen per ID.
 	proposedDigest map[int64]protocol.Digest
@@ -186,6 +248,10 @@ func New(cfg Config) *Replica {
 		proposedDigest:    make(map[int64]protocol.Digest),
 		lastDigest:        cfg.GenesisDigest,
 		lastValidated:     cfg.GenesisDigest,
+		viewActive:        true,
+		vcVotes:           make(map[uint64]map[int32]*protocol.ViewChange),
+		lastHeader:        cfg.GenesisHeader,
+		lastCert:          cfg.GenesisCert,
 	}
 	for i := 0; i < cfg.N; i++ {
 		r.peers = append(r.peers, NodeID{Cluster: cfg.Cluster, Replica: int32(i)})
@@ -193,11 +259,50 @@ func New(cfg Config) *Replica {
 	return r
 }
 
-// LeaderReplica is the fixed leader index within each cluster.
+// LeaderReplica is the leader index of view 0 within each cluster (the
+// round-robin rotation starts here; see leaderAt).
 const LeaderReplica int32 = 0
 
-// IsLeader reports whether this replica leads its cluster.
-func (r *Replica) IsLeader() bool { return r.cfg.Replica == LeaderReplica }
+// leaderAt returns the leader replica index for a view: round-robin over
+// the cluster, view 0 led by replica 0.
+func (r *Replica) leaderAt(view uint64) int32 {
+	return int32(view % uint64(r.cfg.N))
+}
+
+// IsLeader reports whether this replica leads its cluster in the current
+// view.
+func (r *Replica) IsLeader() bool { return r.cfg.Replica == r.leaderAt(r.view) }
+
+// CanPropose reports whether this replica may propose right now: it must
+// lead the current view, the view must be active (no view change in
+// progress), and no NewView may be pending installation.
+func (r *Replica) CanPropose() bool {
+	return r.IsLeader() && r.viewActive && r.pendingNewView == nil
+}
+
+// LeaderID returns the node identity of the current view's leader, for
+// routing client and 2PC traffic.
+func (r *Replica) LeaderID() NodeID {
+	return NodeID{Cluster: r.cfg.Cluster, Replica: r.leaderAt(r.view)}
+}
+
+// CurrentView returns the replica's view. Safe to read from any
+// goroutine (tests and monitoring poll it while the event loop runs).
+func (r *Replica) CurrentView() uint64 { return r.currentView.Load() }
+
+// ViewActive reports whether the current view is operational (false
+// while a view change is in progress).
+func (r *Replica) ViewActive() bool { return r.viewActive }
+
+// ViewChanges returns how many new views this replica has installed.
+func (r *Replica) ViewChanges() int { return int(r.viewChanges.Load()) }
+
+// PendingWork reports whether the consensus layer has undelivered state
+// that only leader progress (or a view change) can resolve — the signal
+// the enclosing node's progress timer arms on.
+func (r *Replica) PendingWork() bool {
+	return !r.viewActive || len(r.instances) > 0 || len(r.pendingPrePrepare) > 0
+}
 
 // NextID returns the ID the next proposed batch must carry.
 func (r *Replica) NextID() int64 { return r.nextPropose }
@@ -290,16 +395,19 @@ func (r *Replica) Lagging() bool {
 }
 
 // Reset re-bases the engine after a state transfer: the log prefix up to
-// base (with the given batch digest) is installed out of band, so
-// consensus resumes at base+1 with all per-slot state below (and any
-// stale buffered state) discarded. The enclosing node guarantees base is
-// a certified log position.
-func (r *Replica) Reset(base int64, digest protocol.Digest) {
+// base (with the given batch digest, header, and consensus certificate)
+// is installed out of band, so consensus resumes at base+1 with all
+// per-slot state below (and any stale buffered state) discarded. The
+// enclosing node guarantees base is a certified log position; header and
+// cert become the certified tip carried in view-change votes.
+func (r *Replica) Reset(base int64, digest protocol.Digest, header protocol.BatchHeader, cert cryptoutil.Certificate) {
 	r.nextDeliver = base + 1
 	r.nextValidate = base + 1
 	r.nextPropose = base + 1
 	r.lastDigest = digest
 	r.lastValidated = digest
+	r.lastHeader = header
+	r.lastCert = cert
 	r.instances = make(map[int64]*instance)
 	r.pendingPrePrepare = make(map[int64]*PrePrepare)
 	r.proposedDigest = make(map[int64]protocol.Digest)
@@ -307,21 +415,55 @@ func (r *Replica) Reset(base int64, digest protocol.Digest) {
 	// already covered (or forged numbers); discard them with the rest of
 	// the stale state so Lagging() reflects post-reset traffic only.
 	r.highestSeen = base
+	// A NewView that was waiting for this replica to catch up may be
+	// installable now that the transfer advanced the delivery point.
+	if nv := r.pendingNewView; nv != nil {
+		r.adoptNewView(nv)
+	}
+}
+
+// TruncateBelow discards per-slot bookkeeping for slots below base (the
+// cluster's stable checkpoint): equivocation evidence in proposedDigest
+// and any stale buffered proposals or instances. Without this the
+// evidence map grows for the life of the replica — slots that were
+// proposed but never delivered (an equivocating leader's leftovers) were
+// never cleaned up.
+func (r *Replica) TruncateBelow(base int64) {
+	for id := range r.proposedDigest {
+		if id < base {
+			delete(r.proposedDigest, id)
+		}
+	}
+	for id := range r.pendingPrePrepare {
+		if id < base {
+			delete(r.pendingPrePrepare, id)
+		}
+	}
+	for id := range r.instances {
+		if id < base {
+			delete(r.instances, id)
+		}
+	}
 }
 
 // Errors.
 var (
 	ErrNotLeader    = errors.New("bft: propose called on non-leader")
+	ErrViewChanging = errors.New("bft: view change in progress")
 	ErrBadBatchID   = errors.New("bft: proposed batch has wrong ID")
 	ErrPipelineFull = errors.New("bft: MaxInFlight proposals already outstanding")
 )
 
-// Propose starts consensus on the next free slot. Only the leader calls
-// this; up to MaxInFlight proposals may be outstanding at once, and the
-// batch must carry the next sequence number (NextID).
+// Propose starts consensus on the next free slot. Only the current
+// view's leader calls this; up to MaxInFlight proposals may be
+// outstanding at once, and the batch must carry the next sequence number
+// (NextID).
 func (r *Replica) Propose(b *protocol.Batch) error {
 	if !r.IsLeader() {
 		return ErrNotLeader
+	}
+	if !r.CanPropose() {
+		return ErrViewChanging
 	}
 	if b.ID != r.nextPropose {
 		return fmt.Errorf("%w: got %d, want %d", ErrBadBatchID, b.ID, r.nextPropose)
@@ -346,7 +488,7 @@ func (r *Replica) Propose(b *protocol.Batch) error {
 			forged.Timestamp = b.Timestamp + int64(i)
 			forged.Seal()
 			d := forged.Digest()
-			r.send(peer, &PrePrepare{Batch: forged, LeaderSig: r.cfg.Keys.Sign(d[:])})
+			r.send(peer, &PrePrepare{View: r.view, Batch: forged, LeaderSig: r.cfg.Keys.Sign(d[:])})
 		}
 		return nil
 	}
@@ -355,7 +497,7 @@ func (r *Replica) Propose(b *protocol.Batch) error {
 	// and delivery steps) will reuse.
 	b.Seal()
 	d := b.Digest()
-	pp := &PrePrepare{Batch: b, LeaderSig: r.cfg.Keys.Sign(d[:])}
+	pp := &PrePrepare{View: r.view, Batch: b, LeaderSig: r.cfg.Keys.Sign(d[:])}
 	r.broadcast(pp)
 	return nil
 }
@@ -387,6 +529,10 @@ func (r *Replica) Handle(from NodeID, payload any) bool {
 		r.onPrepare(from, m)
 	case *Commit:
 		r.onCommit(from, m)
+	case *protocol.ViewChange:
+		r.onViewChange(from, m)
+	case *protocol.NewView:
+		r.onNewView(from, m)
 	default:
 		return false
 	}
@@ -398,7 +544,7 @@ func (r *Replica) inst(id int64) *instance {
 	if !ok {
 		in = &instance{
 			id:             id,
-			prepares:       make(map[int32]protocol.Digest),
+			prepares:       make(map[int32]prepVote),
 			commits:        make(map[int32][]byte),
 			pendingCommits: make(map[int32]*Commit),
 		}
@@ -408,8 +554,14 @@ func (r *Replica) inst(id int64) *instance {
 }
 
 func (r *Replica) onPrePrepare(from NodeID, m *PrePrepare) {
-	if from.Cluster != r.cfg.Cluster || from.Replica != LeaderReplica {
-		return // only the cluster leader proposes
+	if from.Cluster != r.cfg.Cluster || from.Replica != r.leaderAt(m.View) {
+		return // only the view's leader proposes
+	}
+	if m.View != r.view || !r.viewActive {
+		// Stale-view proposals are dead; future-view proposals mean we
+		// missed a NewView — the Lagging/state-transfer path (which also
+		// carries the cluster's view) catches us up.
+		return
 	}
 	b := m.Batch
 	if b == nil || b.Cluster != r.cfg.Cluster || b.ID < r.nextDeliver {
@@ -459,10 +611,11 @@ func (r *Replica) startInstance(m *PrePrepare) {
 	}
 	in.batch = b
 	in.digest = b.Digest()
+	in.view = r.view
 	in.validated = true
 	r.lastValidated = in.digest
 	r.nextValidate = b.ID + 1
-	r.broadcast(&Prepare{ID: b.ID, Digest: in.digest})
+	r.broadcastPrepare(in)
 	r.replayPendingCommits(in)
 	r.maybeCommit(in)
 	r.maybeDeliver(in)
@@ -515,6 +668,13 @@ func (r *Replica) vetCommit(in *instance, from NodeID, m *Commit) (ed25519.Publi
 	return pub, true
 }
 
+// broadcastPrepare signs and sends this replica's prepare for the
+// instance in its adopted view.
+func (r *Replica) broadcastPrepare(in *instance) {
+	psd := protocol.PrepareSigDigest(r.cfg.Cluster, in.view, in.id, in.digest)
+	r.broadcast(&Prepare{View: in.view, ID: in.id, Digest: in.digest, Sig: r.cfg.Keys.Sign(psd[:])})
+}
+
 func (r *Replica) onPrepare(from NodeID, m *Prepare) {
 	if from.Cluster != r.cfg.Cluster || m.ID < r.nextDeliver {
 		return
@@ -523,23 +683,36 @@ func (r *Replica) onPrepare(from NodeID, m *Prepare) {
 		return
 	}
 	in := r.inst(m.ID)
-	if _, dup := in.prepares[from.Replica]; dup {
+	if prev, ok := in.prepares[from.Replica]; ok && prev.view >= m.View {
+		return // keep each replica's newest-view prepare only
+	}
+	// Verify eagerly against the prepare's own claimed (view, id, digest):
+	// commit quorums are counted from these votes, and the safety of the
+	// view-change frontier (DESIGN §7) rests on every counted prepare
+	// being a relayable signature. A byzantine replica that attached
+	// garbage here must not count toward prepared-ness.
+	psd := protocol.PrepareSigDigest(r.cfg.Cluster, m.View, m.ID, m.Digest)
+	pub := r.cfg.Ring.PublicKey(from)
+	if pub == nil || !cryptoutil.Verify(pub, psd[:], m.Sig) {
 		return
 	}
-	in.prepares[from.Replica] = m.Digest
+	in.prepares[from.Replica] = prepVote{view: m.View, digest: m.Digest, sig: m.Sig}
 	r.maybeCommit(in)
 }
 
 // maybeCommit sends the Commit vote once 2f+1 matching Prepares are held
-// for the digest this replica validated.
+// for the digest this replica validated, in the view it validated it.
+// The per-view match is what makes "prepared" transferable: any replica
+// holding a commit quorum member's evidence holds 2f+1 signatures over
+// one (view, id, digest) triple.
 func (r *Replica) maybeCommit(in *instance) {
 	if !in.validated || in.committed {
 		return
 	}
 	quorum := 2*r.cfg.F + 1
 	matching := 0
-	for _, d := range in.prepares {
-		if d == in.digest {
+	for _, pv := range in.prepares {
+		if pv.digest == in.digest && pv.view == in.view {
 			matching++
 		}
 	}
@@ -551,7 +724,7 @@ func (r *Replica) maybeCommit(in *instance) {
 	if r.cfg.Behavior.CorruptCertSig {
 		sig = make([]byte, len(sig)) // zeroed garbage
 	}
-	r.broadcast(&Commit{ID: in.id, Digest: in.digest, CertSig: sig})
+	r.broadcast(&Commit{View: in.view, ID: in.id, Digest: in.digest, CertSig: sig})
 }
 
 func (r *Replica) onCommit(from NodeID, m *Commit) {
@@ -615,6 +788,8 @@ func (r *Replica) maybeDeliver(in *instance) {
 	}
 
 	r.lastDigest = in.digest
+	r.lastHeader = in.batch.Header()
+	r.lastCert = cert
 	r.nextDeliver = in.id + 1
 	delete(r.instances, in.id)
 	delete(r.proposedDigest, in.id)
@@ -627,5 +802,12 @@ func (r *Replica) maybeDeliver(in *instance) {
 	// now that it is next in line.
 	if next, ok := r.instances[r.nextDeliver]; ok {
 		r.maybeDeliver(next)
+	}
+
+	// A NewView that was waiting on our delivery point may be installable
+	// now (it clears pendingNewView before touching instances, so the
+	// recursion above cannot re-enter it).
+	if nv := r.pendingNewView; nv != nil {
+		r.adoptNewView(nv)
 	}
 }

@@ -1,0 +1,390 @@
+package bft
+
+import (
+	"testing"
+	"time"
+
+	"transedge/internal/cryptoutil"
+	"transedge/internal/protocol"
+	"transedge/internal/transport"
+)
+
+// vcFixture holds a 4-replica cluster's key material, a certified genesis
+// tip, and a sealed batch chain for slots 1..3 — the raw ingredients for
+// building view-change votes by hand.
+type vcFixture struct {
+	keys    []cryptoutil.KeyPair
+	ring    *cryptoutil.KeyRing
+	genesis *protocol.Batch
+	header  protocol.BatchHeader
+	cert    cryptoutil.Certificate
+	batches []*protocol.Batch // batches[i] is slot i+1
+}
+
+func newVCFixture(t *testing.T) *vcFixture {
+	t.Helper()
+	f := &vcFixture{ring: cryptoutil.NewKeyRing()}
+	for i := 0; i < 4; i++ {
+		id := NodeID{Cluster: 0, Replica: int32(i)}
+		kp := cryptoutil.DeriveKeyPair(id, 7)
+		f.keys = append(f.keys, kp)
+		f.ring.Add(id, kp.Public)
+	}
+	f.genesis = (&protocol.Batch{Cluster: 0, ID: 0, CD: protocol.NewCDVector(1), LCE: -1}).Seal()
+	f.header = f.genesis.Header()
+	d := f.header.Digest()
+	f.cert = cryptoutil.Certificate{Cluster: 0}
+	for i := 0; i < 4; i++ {
+		id := NodeID{Cluster: 0, Replica: int32(i)}
+		f.cert.Signatures = append(f.cert.Signatures, cryptoutil.SignCertificate(f.keys[i], id, d[:]))
+	}
+	prev := f.genesis.Digest()
+	for id := int64(1); id <= 3; id++ {
+		b := (&protocol.Batch{Cluster: 0, ID: id, PrevDigest: prev, Timestamp: id,
+			CD: protocol.NewCDVector(1), LCE: -1}).Seal()
+		f.batches = append(f.batches, b)
+		prev = b.Digest()
+	}
+	return f
+}
+
+// preps builds valid prepare signatures from the listed replicas for
+// (view, id, digest).
+func (f *vcFixture) preps(view uint64, id int64, d protocol.Digest, replicas ...int32) []protocol.PrepareSig {
+	psd := protocol.PrepareSigDigest(0, view, id, d)
+	out := make([]protocol.PrepareSig, 0, len(replicas))
+	for _, r := range replicas {
+		out = append(out, protocol.PrepareSig{Replica: r, Sig: f.keys[r].Sign(psd[:])})
+	}
+	return out
+}
+
+func vcVote(rep int32, tip protocol.BatchHeader, entries ...protocol.PreparedEntry) *protocol.ViewChange {
+	return &protocol.ViewChange{Cluster: 0, Replica: rep, View: 1, TipHeader: tip, Entries: entries}
+}
+
+func vcEntry(view uint64, b *protocol.Batch, sigs []protocol.PrepareSig) protocol.PreparedEntry {
+	return protocol.PreparedEntry{ID: b.ID, View: view, Digest: b.Digest(), Batch: b, Prepares: sigs}
+}
+
+// TestNewViewFrontierFromAnyQuorum is the safety property behind the view
+// change: for EVERY 2f+1-subset of the cluster's view-change votes, the
+// recomputed frontier re-proposes each slot that may have committed
+// anywhere (here: slot 1, delivered by replica 0; slot 2, prepared by a
+// full quorum) and never resurrects a slot that no quorum prepared
+// (slot 3, one signature). No committed slot lost, no unprepared slot
+// revived — from any subset a new leader might assemble.
+func TestNewViewFrontierFromAnyQuorum(t *testing.T) {
+	f := newVCFixture(t)
+	b1, b2, b3 := f.batches[0], f.batches[1], f.batches[2]
+	d1, d2 := b1.Digest(), b2.Digest()
+	d3 := b3.Digest()
+
+	votes := []*protocol.ViewChange{
+		// Replica 0 delivered slot 1: its tip certifies it, entries resume
+		// at slot 2. It holds a full prepare set for 2 and only its own
+		// signature for 3.
+		vcVote(0, b1.Header(),
+			vcEntry(0, b2, f.preps(0, 2, d2, 0, 1, 2)),
+			vcEntry(0, b3, f.preps(0, 3, d3, 0))),
+		vcVote(1, f.header,
+			vcEntry(0, b1, f.preps(0, 1, d1, 0, 1, 2, 3)),
+			vcEntry(0, b2, f.preps(0, 2, d2, 0, 1, 2))),
+		vcVote(2, f.header,
+			vcEntry(0, b1, f.preps(0, 1, d1, 1, 2, 3)),
+			vcEntry(0, b2, f.preps(0, 2, d2, 0, 1, 2))),
+		vcVote(3, f.header,
+			vcEntry(0, b1, f.preps(0, 1, d1, 0, 1, 2, 3)),
+			vcEntry(0, b2, f.preps(0, 2, d2, 1, 2, 3)),
+			vcEntry(0, b3, f.preps(0, 3, d3, 3))),
+	}
+
+	subsets := [][]int{{0, 1, 2}, {0, 1, 3}, {0, 2, 3}, {1, 2, 3}, {0, 1, 2, 3}}
+	for _, idx := range subsets {
+		sub := make([]*protocol.ViewChange, 0, len(idx))
+		tip := int64(0)
+		for _, i := range idx {
+			sub = append(sub, votes[i])
+			if votes[i].TipHeader.ID > tip {
+				tip = votes[i].TipHeader.ID
+			}
+		}
+		fr := computeFrontier(f.ring, 0, 1, sub)
+		got := make(map[int64]protocol.Digest, len(fr))
+		for i, e := range fr {
+			if e.ID != tip+1+int64(i) {
+				t.Fatalf("subset %v: frontier not contiguous from tip %d: %+v", idx, tip, fr)
+			}
+			got[e.ID] = e.Digest
+		}
+		if tip < 1 && got[1] != d1 {
+			t.Fatalf("subset %v: committed slot 1 lost (frontier %v)", idx, got)
+		}
+		if got[2] != d2 {
+			t.Fatalf("subset %v: prepared slot 2 lost or re-proposed with wrong digest", idx)
+		}
+		if _, ok := got[3]; ok {
+			t.Fatalf("subset %v: unprepared slot 3 resurrected", idx)
+		}
+	}
+}
+
+// TestFrontierRejectsForgedPrepares: a byzantine voter padding an
+// under-prepared slot with fabricated signatures from honest replicas
+// cannot push it over the 2f+1 bar — every counted signature is verified
+// against the claimed signer's key.
+func TestFrontierRejectsForgedPrepares(t *testing.T) {
+	f := newVCFixture(t)
+	b1, b2, b3 := f.batches[0], f.batches[1], f.batches[2]
+	d1, d2, d3 := b1.Digest(), b2.Digest(), b3.Digest()
+
+	psd3 := protocol.PrepareSigDigest(0, 0, 3, d3)
+	forged := []protocol.PrepareSig{
+		// Valid bytes, wrong claimed signer: replica 3's signature
+		// presented as replicas 1 and 2.
+		{Replica: 1, Sig: f.keys[3].Sign(psd3[:])},
+		{Replica: 2, Sig: f.keys[3].Sign(psd3[:])},
+		{Replica: 3, Sig: f.keys[3].Sign(psd3[:])},
+	}
+	votes := []*protocol.ViewChange{
+		vcVote(1, f.header,
+			vcEntry(0, b1, f.preps(0, 1, d1, 0, 1, 2)),
+			vcEntry(0, b2, f.preps(0, 2, d2, 0, 1, 2))),
+		vcVote(2, f.header,
+			vcEntry(0, b1, f.preps(0, 1, d1, 0, 1, 2)),
+			vcEntry(0, b2, f.preps(0, 2, d2, 0, 1, 2))),
+		vcVote(3, f.header,
+			vcEntry(0, b1, f.preps(0, 1, d1, 0, 1, 2)),
+			vcEntry(0, b2, f.preps(0, 2, d2, 0, 1, 2)),
+			vcEntry(0, b3, forged)),
+	}
+	fr := computeFrontier(f.ring, 0, 1, votes)
+	if len(fr) != 2 || fr[0].ID != 1 || fr[1].ID != 2 {
+		t.Fatalf("frontier = %+v, want exactly slots 1,2", fr)
+	}
+}
+
+// TestFrontierPrefersHigherViewCandidate: when a slot prepared under two
+// views (a previous failover re-proposed it), the candidate from the
+// higher view wins — it is the one a later quorum may have committed.
+func TestFrontierPrefersHigherViewCandidate(t *testing.T) {
+	f := newVCFixture(t)
+	b1 := f.batches[0]
+	d1 := b1.Digest()
+	b1b := (&protocol.Batch{Cluster: 0, ID: 1, PrevDigest: f.genesis.Digest(), Timestamp: 100,
+		CD: protocol.NewCDVector(1), LCE: -1}).Seal()
+	d1b := b1b.Digest()
+
+	votes := []*protocol.ViewChange{
+		vcVote(1, f.header, vcEntry(0, b1, f.preps(0, 1, d1, 0, 1, 2))),
+		vcVote(2, f.header, vcEntry(1, b1b, f.preps(1, 1, d1b, 1, 2, 3))),
+		vcVote(3, f.header, vcEntry(1, b1b, f.preps(1, 1, d1b, 1, 2, 3))),
+	}
+	fr := computeFrontier(f.ring, 0, 1, votes)
+	if len(fr) != 1 || fr[0].View != 1 || fr[0].Digest != d1b {
+		t.Fatalf("frontier = %+v, want slot 1 from view 1 (digest %x)", fr, d1b[:4])
+	}
+}
+
+// TestFrontierRequiresChaining: a fully-signed candidate whose body does
+// not chain PrevDigest onto the tip is not re-proposed — the frontier is
+// always a prefix extension of certified history.
+func TestFrontierRequiresChaining(t *testing.T) {
+	f := newVCFixture(t)
+	stray := (&protocol.Batch{Cluster: 0, ID: 1, PrevDigest: f.batches[2].Digest(), Timestamp: 9,
+		CD: protocol.NewCDVector(1), LCE: -1}).Seal()
+	ds := stray.Digest()
+	votes := []*protocol.ViewChange{
+		vcVote(1, f.header, vcEntry(0, stray, f.preps(0, 1, ds, 0, 1, 2))),
+		vcVote(2, f.header, vcEntry(0, stray, f.preps(0, 1, ds, 0, 1, 2))),
+		vcVote(3, f.header, vcEntry(0, stray, f.preps(0, 1, ds, 0, 1, 2))),
+	}
+	if fr := computeFrontier(f.ring, 0, 1, votes); len(fr) != 0 {
+		t.Fatalf("frontier = %+v, want empty (candidate does not chain)", fr)
+	}
+}
+
+// TestTruncateBelowBoundsEvidence: the equivocation-evidence map is
+// pruned below the stable checkpoint base instead of growing for the
+// replica's lifetime.
+func TestTruncateBelowBoundsEvidence(t *testing.T) {
+	r, _ := soloReplica(t, 4)
+	for id := int64(1); id <= 10; id++ {
+		r.proposedDigest[id] = protocol.Digest{byte(id)}
+	}
+	r.TruncateBelow(8)
+	if len(r.proposedDigest) != 3 {
+		t.Fatalf("proposedDigest holds %d entries after TruncateBelow(8), want 3", len(r.proposedDigest))
+	}
+	for id := range r.proposedDigest {
+		if id < 8 {
+			t.Fatalf("slot %d below the checkpoint base survived truncation", id)
+		}
+	}
+}
+
+// vcCluster wires four live Replicas over a zero-latency network. The
+// test goroutine pumps every mailbox itself — the bft layer is
+// single-threaded by contract (each node's event loop serializes Handle),
+// and pumping from one goroutine preserves that.
+type vcCluster struct {
+	t         *testing.T
+	f         *vcFixture
+	net       *transport.Network
+	inbox     []<-chan transport.Envelope
+	reps      []*Replica
+	delivered [][]int64
+}
+
+func newVCCluster(t *testing.T) *vcCluster {
+	t.Helper()
+	f := newVCFixture(t)
+	c := &vcCluster{t: t, f: f, net: transport.NewNetwork(), delivered: make([][]int64, 4)}
+	gd := f.header.Digest()
+	for i := 0; i < 4; i++ {
+		i := i
+		id := NodeID{Cluster: 0, Replica: int32(i)}
+		c.inbox = append(c.inbox, c.net.Register(id))
+		c.reps = append(c.reps, New(Config{
+			Cluster: 0, Replica: int32(i), N: 4, F: 1,
+			Keys: f.keys[i], Ring: f.ring, Net: c.net,
+			GenesisDigest: gd, GenesisHeader: f.header, GenesisCert: f.cert,
+			MaxInFlight: 8,
+			Deliver: func(cb protocol.CertifiedBatch) {
+				c.delivered[i] = append(c.delivered[i], cb.Batch.ID)
+			},
+		}))
+	}
+	t.Cleanup(c.net.Stop)
+	return c
+}
+
+// pump handles queued messages for the live replicas until cond holds.
+func (c *vcCluster) pump(live []int, cond func() bool) {
+	c.t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		moved := false
+		for _, i := range live {
+			select {
+			case env := <-c.inbox[i]:
+				c.reps[i].Handle(env.From, env.Payload)
+				moved = true
+			default:
+			}
+		}
+		if !moved {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	c.t.Fatal("pump: condition not reached before deadline")
+}
+
+// settle drains until the cluster has been quiet for a while.
+func (c *vcCluster) settle(live []int) {
+	for quiet := 0; quiet < 50; {
+		moved := false
+		for _, i := range live {
+			select {
+			case env := <-c.inbox[i]:
+				c.reps[i].Handle(env.From, env.Payload)
+				moved = true
+			default:
+			}
+		}
+		if moved {
+			quiet = 0
+		} else {
+			quiet++
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+}
+
+// TestViewChangeElectsNextLeader: with the view-0 leader dark, the three
+// survivors vote, install view 1 led by replica 1, and commit a batch —
+// the core liveness claim of the failover path.
+func TestViewChangeElectsNextLeader(t *testing.T) {
+	c := newVCCluster(t)
+	live := []int{1, 2, 3}
+	for _, i := range live {
+		c.reps[i].SuspectLeader()
+	}
+	c.pump(live, func() bool {
+		for _, i := range live {
+			if c.reps[i].CurrentView() != 1 || !c.reps[i].ViewActive() {
+				return false
+			}
+		}
+		return true
+	})
+	if !c.reps[1].CanPropose() {
+		t.Fatal("replica 1 should lead view 1")
+	}
+	if c.reps[2].CanPropose() || c.reps[3].CanPropose() {
+		t.Fatal("only the view-1 leader may propose")
+	}
+	if got, want := c.reps[2].LeaderID(), (NodeID{Cluster: 0, Replica: 1}); got != want {
+		t.Fatalf("LeaderID = %v, want %v", got, want)
+	}
+
+	b := &protocol.Batch{Cluster: 0, ID: c.reps[1].NextID(), PrevDigest: c.reps[1].LastDigest(),
+		Timestamp: 1, CD: protocol.NewCDVector(1), LCE: -1}
+	if err := c.reps[1].Propose(b); err != nil {
+		t.Fatalf("new leader propose: %v", err)
+	}
+	c.pump(live, func() bool {
+		for _, i := range live {
+			if len(c.delivered[i]) == 0 {
+				return false
+			}
+		}
+		return true
+	})
+	for _, i := range live {
+		if c.delivered[i][0] != b.ID {
+			t.Fatalf("replica %d delivered %v, want [%d]", i, c.delivered[i], b.ID)
+		}
+	}
+}
+
+// TestSingleSuspectDoesNotMoveCluster: PBFT's f+1 join rule — one faulty
+// timer (or one byzantine suspecter) cannot drag the cluster through a
+// view change.
+func TestSingleSuspectDoesNotMoveCluster(t *testing.T) {
+	c := newVCCluster(t)
+	live := []int{0, 1, 2, 3}
+	c.reps[3].SuspectLeader()
+	c.settle(live)
+	for _, i := range []int{0, 1, 2} {
+		if c.reps[i].CurrentView() != 0 || !c.reps[i].ViewActive() {
+			t.Fatalf("replica %d left view 0 on a single suspect vote", i)
+		}
+	}
+	if !c.reps[0].CanPropose() {
+		t.Fatal("view-0 leader lost proposal rights to a single suspect vote")
+	}
+}
+
+// TestJoinRuleConverges: once f+1 replicas suspect, everyone (including
+// the deposed leader) joins and the cluster installs the next view.
+func TestJoinRuleConverges(t *testing.T) {
+	c := newVCCluster(t)
+	live := []int{0, 1, 2, 3}
+	c.reps[2].SuspectLeader()
+	c.reps[3].SuspectLeader()
+	c.pump(live, func() bool {
+		for _, i := range live {
+			if c.reps[i].CurrentView() != 1 || !c.reps[i].ViewActive() {
+				return false
+			}
+		}
+		return true
+	})
+	if !c.reps[1].IsLeader() || c.reps[0].IsLeader() {
+		t.Fatal("view 1 must be led by replica 1")
+	}
+}

@@ -150,7 +150,7 @@ func TestResetRebasesEngine(t *testing.T) {
 
 	base := int64(128)
 	d := protocol.Digest{42}
-	r.Reset(base, d)
+	r.Reset(base, d, protocol.BatchHeader{Cluster: 0, ID: base}, cryptoutil.Certificate{})
 	if r.NextID() != base+1 {
 		t.Fatalf("NextID = %d, want %d", r.NextID(), base+1)
 	}

@@ -73,6 +73,13 @@ type Client struct {
 	// freshness bound is still enforced per reply).
 	certMu   sync.Mutex
 	certSeen map[cryptoutil.Digest]struct{}
+
+	// prefMu/pref remember, per cluster, the replica that last answered a
+	// commit: after a leader failover the view-0 replica may be dead, and
+	// starting each commit's contact rotation from the last responsive
+	// replica skips the dead ones without the client ever tracking views.
+	prefMu sync.Mutex
+	pref   map[int32]int32
 }
 
 // certCacheLimit bounds certSeen; long-lived clients reset rather than
@@ -115,7 +122,22 @@ func New(cfg Config) *Client {
 		self:     NodeID{Cluster: transport.ClientCluster, Replica: int32(cfg.ID)},
 		rng:      rand.New(rand.NewSource(cfg.Seed ^ int64(cfg.ID))),
 		certSeen: make(map[cryptoutil.Digest]struct{}),
+		pref:     make(map[int32]int32),
 	}
+}
+
+// preferred returns the rotation start replica for a cluster.
+func (c *Client) preferred(cluster int32) int32 {
+	c.prefMu.Lock()
+	defer c.prefMu.Unlock()
+	return c.pref[cluster]
+}
+
+// remember records the replica whose contact produced an answer.
+func (c *Client) remember(cluster, replica int32) {
+	c.prefMu.Lock()
+	c.pref[cluster] = replica
+	c.prefMu.Unlock()
 }
 
 // threshold returns the certificate threshold (f+1) for a cluster.
@@ -154,21 +176,36 @@ func (t *Txn) Read(key string) ([]byte, error) {
 		return v, nil
 	}
 	cluster := t.c.cfg.Part.Of(key)
-	replyTo := make(chan protocol.ReadReply, 1)
-	t.c.cfg.Net.Send(t.c.self, t.c.cfg.ReadTarget(cluster), &protocol.ReadRequest{Key: key, ReplyTo: replyTo})
-	select {
-	case r := <-replyTo:
-		version := int64(-1)
-		var value []byte
-		if r.Found {
-			version = r.Version
-			value = r.Value
-		}
-		t.reads = append(t.reads, protocol.ReadEntry{Key: key, Version: version})
-		return value, nil
-	case <-time.After(t.c.cfg.Timeout):
-		return nil, fmt.Errorf("%w: read %q", ErrTimeout, key)
+	// Rotate away from an unresponsive target: any replica serves reads
+	// from committed state, so a crashed ReadTarget only costs one
+	// sub-timeout before the next replica answers.
+	attempts := t.c.cfg.Ring.ClusterSize(cluster)
+	if attempts <= 0 {
+		attempts = 1
 	}
+	per := t.c.cfg.Timeout / time.Duration(attempts)
+	if per <= 0 {
+		per = t.c.cfg.Timeout
+	}
+	base := t.c.cfg.ReadTarget(cluster)
+	replyTo := make(chan protocol.ReadReply, attempts)
+	for a := 0; a < attempts; a++ {
+		to := NodeID{Cluster: cluster, Replica: (base.Replica + int32(a)) % int32(attempts)}
+		t.c.cfg.Net.Send(t.c.self, to, &protocol.ReadRequest{Key: key, ReplyTo: replyTo})
+		select {
+		case r := <-replyTo:
+			version := int64(-1)
+			var value []byte
+			if r.Found {
+				version = r.Version
+				value = r.Value
+			}
+			t.reads = append(t.reads, protocol.ReadEntry{Key: key, Version: version})
+			return value, nil
+		case <-time.After(per):
+		}
+	}
+	return nil, fmt.Errorf("%w: read %q", ErrTimeout, key)
 }
 
 // Write buffers a write; nothing reaches the system until Commit.
@@ -195,16 +232,34 @@ func (t *Txn) Commit() error {
 		Partitions: t.c.cfg.Part.PartitionsOf(t.reads, t.writes),
 	}
 	coord := txn.Partitions[t.c.rng.Intn(len(txn.Partitions))]
-	replyTo := make(chan protocol.CommitReply, 1)
-	t.c.cfg.Net.Send(t.c.self, NodeID{Cluster: coord, Replica: 0},
-		&protocol.CommitRequest{Txn: txn, ReplyTo: replyTo})
-	select {
-	case r := <-replyTo:
-		if r.Status != protocol.StatusCommitted {
-			return fmt.Errorf("%w: %s", ErrAborted, r.Reason)
-		}
-		return nil
-	case <-time.After(t.c.cfg.Timeout):
-		return fmt.Errorf("%w: commit %v", ErrTimeout, t.id)
+	// Contact rotation: a silent contact (crashed replica, or a deposed
+	// leader that dropped the request) costs one sub-timeout, then the
+	// next replica is tried with the SAME transaction and reply channel —
+	// replicas forward to their current leader and the leader dedups
+	// resubmissions, so retries can never double-commit. The rotation
+	// starts at the replica that last answered for this cluster.
+	attempts := t.c.cfg.Ring.ClusterSize(coord)
+	if attempts <= 0 {
+		attempts = 1
 	}
+	per := t.c.cfg.Timeout / time.Duration(attempts)
+	if per <= 0 {
+		per = t.c.cfg.Timeout
+	}
+	start := t.c.preferred(coord)
+	replyTo := make(chan protocol.CommitReply, attempts)
+	for a := 0; a < attempts; a++ {
+		target := NodeID{Cluster: coord, Replica: (start + int32(a)) % int32(attempts)}
+		t.c.cfg.Net.Send(t.c.self, target, &protocol.CommitRequest{Txn: txn, ReplyTo: replyTo})
+		select {
+		case r := <-replyTo:
+			t.c.remember(coord, target.Replica)
+			if r.Status != protocol.StatusCommitted {
+				return fmt.Errorf("%w: %s", ErrAborted, r.Reason)
+			}
+			return nil
+		case <-time.After(per):
+		}
+	}
+	return fmt.Errorf("%w: commit %v", ErrTimeout, t.id)
 }

@@ -216,6 +216,7 @@ func (n *Node) maybeStabilize(cs *checkpointState) {
 		}
 	}
 	n.stable = cs
+	n.stableID.Store(cs.id)
 	n.Metrics.CheckpointsStable++
 	n.truncateBelow(cs.id)
 }
@@ -237,6 +238,9 @@ func (n *Node) truncateBelow(id int64) {
 	if base > n.oldestSnapshot {
 		n.oldestSnapshot = base
 	}
+	// Consensus bookkeeping below the stable base — equivocation evidence,
+	// stale pre-prepares, dead instances — can never matter again either.
+	n.consensus.TruncateBelow(id)
 }
 
 // ---- State transfer ----
@@ -299,7 +303,8 @@ func (n *Node) onStateRequest(m *protocol.StateRequest) {
 	if m.From.Cluster != n.cfg.Cluster {
 		return // state transfer is intra-cluster
 	}
-	resp := &protocol.StateResponse{Cluster: n.cfg.Cluster, CheckpointID: -1, Tip: n.lastBatchID()}
+	resp := &protocol.StateResponse{Cluster: n.cfg.Cluster, CheckpointID: -1,
+		Tip: n.lastBatchID(), View: n.consensus.CurrentView()}
 	start := m.HaveBatch + 1
 	if cs := n.stable; cs != nil {
 		resp.CheckpointID = cs.id
@@ -354,6 +359,10 @@ func (n *Node) onStateResponse(from NodeID, m *protocol.StateResponse) {
 	advanced := false
 	if m.CheckpointID > n.lastBatchID() {
 		if err := n.installCheckpoint(m); err != nil {
+			// The snapshot failed certificate or Merkle verification: this
+			// responder is useless (or lying). Rotate to another peer right
+			// away instead of burning the whole deadline on it.
+			n.startStateSync()
 			return
 		}
 		advanced = true
@@ -372,12 +381,12 @@ func (n *Node) onStateResponse(from NodeID, m *protocol.StateResponse) {
 	n.replaying = false
 	if !advanced && m.Tip > n.lastBatchID() {
 		// The responder has newer history it could not serve — bodies
-		// pruned before the first stable checkpoint formed, or a
-		// response we failed to apply. Not evidence of being caught up:
-		// stay syncing, and let the deadline rotate to another peer (or
-		// land after a checkpoint forms). A byzantine responder lying
-		// about its tip merely keeps us politely retrying until an
-		// honest peer answers.
+		// pruned before the first stable checkpoint formed, or a suffix
+		// that failed to verify. Not evidence of being caught up: rotate
+		// to another peer immediately rather than burning the rest of the
+		// deadline on this one. A byzantine responder lying about its tip
+		// merely keeps us politely retrying until an honest peer answers.
+		n.startStateSync()
 		return
 	}
 	if !advanced {
@@ -413,7 +422,12 @@ func (n *Node) onStateResponse(from NodeID, m *protocol.StateResponse) {
 	// signal.
 	n.rollbackSpec(0)
 	tipEntry := n.log.last()
-	n.consensus.Reset(n.log.lastID(), tipEntry.digest)
+	n.consensus.Reset(n.log.lastID(), tipEntry.digest, tipEntry.header, tipEntry.cert)
+	// Rejoin at the view the responder runs in, not view 0: without this a
+	// recovered replica would reject the current leader's proposals until
+	// the next view change swept it along. The field is unauthenticated —
+	// a lying responder costs at most one timeout (DESIGN §7).
+	n.consensus.AdoptView(m.View)
 	n.syncing = false
 	n.serveParked()
 }
@@ -512,6 +526,7 @@ func (n *Node) installCheckpoint(m *protocol.StateResponse) error {
 		headerCert: m.HeaderCert, groups: m.Groups, entries: m.Entries,
 		cert: m.Cert, stable: true,
 	}
+	n.stableID.Store(m.CheckpointID)
 	n.Metrics.StateTransfers++
 	return nil
 }

@@ -26,12 +26,30 @@ func (n *Node) leaderEnv() *conflictEnv {
 // 2PC-prepared with this cluster as coordinator (Sec. 3.3.1).
 func (n *Node) onCommitRequest(m *protocol.CommitRequest) {
 	if !n.IsLeader() {
-		// Followers forward commit requests to their leader so a client
-		// may contact f+1 nodes without tracking leadership.
-		n.cfg.Net.Send(n.self, leaderOf(n.cfg.Cluster), m)
+		// Followers forward commit requests to their current leader so a
+		// client may contact any replica without tracking leadership —
+		// and arm the progress watchdog: having handed the leader work,
+		// this follower now expects to see it delivered.
+		n.cfg.Net.Send(n.self, n.consensus.LeaderID(), m)
+		n.armProgressTimer()
 		return
 	}
 	t := m.Txn
+	// A client that timed out and retried (possibly via another replica
+	// after a view change) may resubmit a transaction this leader already
+	// admitted or inherited. Re-admitting it would double-commit: just
+	// repoint the reply channel at the newest attempt.
+	if _, known := n.waiters[t.ID]; known {
+		n.waiters[t.ID] = m.ReplyTo
+		return
+	}
+	if dt := n.distTxns[t.ID]; dt != nil {
+		n.waiters[t.ID] = m.ReplyTo
+		if dt.isCoord {
+			dt.replyTo = m.ReplyTo
+		}
+		return
+	}
 	reads, writes := n.localReads(&t), n.localWrites(&t)
 	if err := n.leaderEnv().check(reads, writes); err != nil {
 		n.Metrics.AdmissionAborts++
@@ -66,10 +84,34 @@ func (n *Node) onCommitRequest(m *protocol.CommitRequest) {
 // footprint, and either queue a prepare record or vote abort immediately.
 func (n *Node) onCoordinatorPrepare(from NodeID, m *protocol.CoordinatorPrepare) {
 	if !n.IsLeader() {
+		// The sender's view of our leadership is stale (it addresses the
+		// view-0 leader). Relay once to the leader we follow; a relayed
+		// copy that still misses is dropped to bound hops.
+		if !m.Forwarded {
+			fwd := *m
+			fwd.Forwarded = true
+			n.cfg.Net.Send(n.self, n.consensus.LeaderID(), &fwd)
+			n.armProgressTimer()
+		}
 		return
 	}
-	if _, dup := n.distTxns[m.TxnID]; dup {
-		return // retransmission
+	if dt, dup := n.distTxns[m.TxnID]; dup {
+		// Retransmission — often a new coordinator leader rebuilding its
+		// vote set after a view change. If our prepare record is already
+		// durable and undecided, re-send the vote it is waiting for.
+		if dt.rec.CoordCluster == m.CoordCluster && dt.prepareBatch >= 0 &&
+			dt.decision == protocol.DecisionPending && !dt.isCoord {
+			if e := n.log.get(dt.prepareBatch); e != nil && e.batch != nil {
+				n.cfg.Net.Send(n.self, leaderOf(m.CoordCluster), &protocol.PreparedVote{
+					TxnID: m.TxnID, FromCluster: n.cfg.Cluster,
+					Vote: protocol.DecisionCommit,
+					Proof: protocol.PrepareProof{
+						Header: e.header, Cert: e.cert, Prepared: e.batch.Prepared,
+					},
+				})
+			}
+		}
+		return
 	}
 	if !n.verifyHeaderCert(&m.Proof.Header, m.Proof.Cert) ||
 		m.Proof.Header.Cluster != m.CoordCluster {
@@ -109,10 +151,29 @@ func (n *Node) onCoordinatorPrepare(from NodeID, m *protocol.CoordinatorPrepare)
 // vote per participant; once all partitions voted, decide and distribute.
 func (n *Node) onPreparedVote(from NodeID, m *protocol.PreparedVote) {
 	if !n.IsLeader() {
+		if !m.Forwarded {
+			fwd := *m
+			fwd.Forwarded = true
+			n.cfg.Net.Send(n.self, n.consensus.LeaderID(), &fwd)
+			n.armProgressTimer()
+		}
 		return
 	}
 	dt := n.distTxns[m.TxnID]
-	if dt == nil || !dt.isCoord || dt.decision != protocol.DecisionPending {
+	if dt == nil || !dt.isCoord {
+		return
+	}
+	if dt.decision != protocol.DecisionPending {
+		// A vote re-sent after the decision usually means the sender's
+		// cluster lost the decision to a leader crash and its new leader
+		// is rebuilding 2PC state: repeat the outcome instead of
+		// dropping the conversation.
+		if dt.decisionSent && m.FromCluster != n.cfg.Cluster {
+			n.cfg.Net.Send(n.self, leaderOf(m.FromCluster), &protocol.CommitDecision{
+				TxnID: dt.rec.Txn.ID, CoordCluster: n.cfg.Cluster,
+				Decision: dt.decision, Votes: dt.votes,
+			})
+		}
 		return
 	}
 	if _, dup := dt.votesByPart[m.FromCluster]; dup {
@@ -192,6 +253,12 @@ func (n *Node) maybeDecide(dt *distTxn) {
 // transaction decided inside its prepare group.
 func (n *Node) onCommitDecision(from NodeID, m *protocol.CommitDecision) {
 	if !n.IsLeader() {
+		if !m.Forwarded {
+			fwd := *m
+			fwd.Forwarded = true
+			n.cfg.Net.Send(n.self, n.consensus.LeaderID(), &fwd)
+			n.armProgressTimer()
+		}
 		return
 	}
 	dt := n.distTxns[m.TxnID]
@@ -276,7 +343,9 @@ func (n *Node) specGroupsConsumed() int {
 // once: each new batch chains PrevDigest, CD vector, LCE, and Merkle tree
 // off the newest speculative slot, so proposal never waits for delivery.
 func (n *Node) maybeBuildBatch(force bool) {
-	if !n.IsLeader() {
+	// CanPropose also refuses mid-view-change windows: proposing into a
+	// dying view would only feed rollbacks.
+	if !n.consensus.CanPropose() {
 		return
 	}
 	if len(n.spec) >= n.cfg.PipelineDepth {

@@ -69,18 +69,21 @@ func (n *Node) onDeliver(cb protocol.CertifiedBatch) {
 	n.tip.Store(b.ID)
 	n.Metrics.BatchesCommitted++
 
-	// Local transactions are committed now (Sec. 3.2).
+	// Local transactions are committed now (Sec. 3.2). Releases and
+	// replies are NOT leader-gated: a leader deposed mid-pipeline still
+	// holds the reply channels for batches it proposed (release is a
+	// no-op on followers, whose pending sets are empty), and a new leader
+	// that inherited the batch through a view change rebuilt the
+	// reservations this delivery must drop.
 	for i := range b.Local {
 		t := &b.Local[i]
 		n.Metrics.LocalCommitted++
-		if n.IsLeader() {
-			n.releasePending(t.Reads, t.Writes)
-			if ch, ok := n.waiters[t.ID]; ok {
-				delete(n.waiters, t.ID)
-				n.reply(ch, protocol.CommitReply{
-					TxnID: t.ID, Status: protocol.StatusCommitted, CommitBatch: b.ID,
-				})
-			}
+		n.releasePending(t.Reads, t.Writes)
+		if ch, ok := n.waiters[t.ID]; ok {
+			delete(n.waiters, t.ID)
+			n.reply(ch, protocol.CommitReply{
+				TxnID: t.ID, Status: protocol.StatusCommitted, CommitBatch: b.ID,
+			})
 		}
 	}
 
@@ -107,16 +110,23 @@ func (n *Node) onDeliver(cb protocol.CertifiedBatch) {
 			dt.prepareBatch = b.ID
 			g.ids = append(g.ids, id)
 			delete(n.pendingEvidence, id)
+			n.releasePending(reads, wr) // moved into the prepared sets
 
 			if !n.IsLeader() {
 				continue
 			}
-			n.releasePending(reads, wr) // moved into the prepared sets
 
 			if rec.CoordCluster == n.cfg.Cluster {
 				// Step 3: we coordinate — our prepare is durable, so ask
 				// every other participant to prepare, and record our own
-				// implicit positive vote.
+				// implicit positive vote. The coordinator fields are
+				// lazily initialized: a leader that took over through a
+				// view change inherits dt records created on the bare
+				// follower path.
+				dt.isCoord = true
+				if dt.votesByPart == nil {
+					dt.votesByPart = make(map[int32]*protocol.PreparedVote)
+				}
 				self := protocol.PreparedVote{
 					TxnID: id, FromCluster: n.cfg.Cluster,
 					Vote: protocol.DecisionCommit, Proof: proof,
@@ -159,18 +169,18 @@ func (n *Node) onDeliver(cb protocol.CertifiedBatch) {
 				for _, w := range n.localWrites(&dt.rec.Txn) {
 					n.preparedWrites.release(w.Key)
 				}
-				if n.IsLeader() && dt.isCoord {
+				// Presence-based, not leader-gated: a deposed leader
+				// still holds the client's channel and must answer.
+				if ch, ok := n.waiters[id]; ok {
+					delete(n.waiters, id)
 					status := protocol.StatusCommitted
 					if rec.Decision != protocol.DecisionCommit {
 						status = protocol.StatusAborted
 					}
-					if ch, ok := n.waiters[id]; ok {
-						delete(n.waiters, id)
-						n.reply(ch, protocol.CommitReply{
-							TxnID: id, Status: status, CommitBatch: b.ID,
-							Reason: reasonFor(rec.Decision),
-						})
-					}
+					n.reply(ch, protocol.CommitReply{
+						TxnID: id, Status: status, CommitBatch: b.ID,
+						Reason: reasonFor(rec.Decision),
+					})
 				}
 				delete(n.distTxns, id)
 			}
@@ -183,6 +193,7 @@ func (n *Node) onDeliver(cb protocol.CertifiedBatch) {
 		}
 	}
 
+	n.noteProgress() // a delivery is exactly what the watchdog waits for
 	n.maybeCheckpoint(b.ID)
 	n.pruneSnapshots()
 	n.serveParked()

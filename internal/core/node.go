@@ -85,6 +85,12 @@ type NodeConfig struct {
 	// StateTransferTimeout bounds how long a syncing replica waits for a
 	// StateResponse before retrying the next peer (0 = a second).
 	StateTransferTimeout time.Duration
+	// ViewTimeout bounds how long a replica waits for leader progress on
+	// pending work before voting a view change (PBFT leader failover,
+	// DESIGN.md §7). Zero disables failover — the seed's fixed-leader
+	// behavior, which some byzantine tests rely on (a stalling leader then
+	// means client timeouts, not a new leader).
+	ViewTimeout time.Duration
 	// Recovering marks a node restarted after a crash: it starts from
 	// genesis state and immediately requests a state transfer instead of
 	// waiting to observe that it is behind.
@@ -252,9 +258,22 @@ type Node struct {
 	// live (peers are past them; no quorum could form).
 	replaying bool
 
+	// Leader-progress watchdog (DESIGN.md §7). progressDeadline is when
+	// the current leader is suspected if no delivery lands first (zero =
+	// disarmed); suspects counts consecutive expiries, backing the timeout
+	// off exponentially; forwarded marks that this follower relayed client
+	// or 2PC traffic to the leader and therefore expects progress even
+	// though it holds no local pending work.
+	progressDeadline time.Time
+	suspects         int
+	forwarded        bool
+
 	// tip mirrors the newest committed batch ID atomically so the
 	// harness can watch catch-up progress while the loop runs.
 	tip atomic.Int64
+	// stableID mirrors the newest stable checkpoint's batch ID (-1 until
+	// one forms) for the same reason: fault harnesses poll it live.
+	stableID atomic.Int64
 
 	// oldestSnapshot is the earliest batch still servable after pruning.
 	oldestSnapshot int64
@@ -305,6 +324,11 @@ type Metrics struct {
 	// SuffixReplayed counts certified batches applied from state-transfer
 	// suffixes instead of live consensus.
 	SuffixReplayed int64
+	// LeaderSuspects counts progress-timer expiries (view-change votes
+	// cast by this replica).
+	LeaderSuspects int64
+	// ViewChanges counts new views this replica entered.
+	ViewChanges int64
 }
 
 // DefaultPipelineDepth is how many batches a leader keeps in flight when
@@ -357,6 +381,7 @@ func NewNode(cfg NodeConfig) *Node {
 		stop:             make(chan struct{}),
 		done:             make(chan struct{}),
 	}
+	n.stableID.Store(-1)
 	for r := int32(0); int(r) < cfg.N; r++ {
 		if r != cfg.Replica {
 			n.peers = append(n.peers, NodeID{Cluster: cfg.Cluster, Replica: r})
@@ -392,10 +417,13 @@ func NewNode(cfg NodeConfig) *Node {
 		Net:           cfg.Net,
 		Behavior:      cfg.Behavior,
 		GenesisDigest: genesisDigest,
+		GenesisHeader: cfg.GenesisHeader,
+		GenesisCert:   cfg.GenesisCert,
 		MaxInFlight:   cfg.PipelineDepth,
 		BufferAhead:   bufferAhead,
 		Validate:      n.validateBatch,
 		Deliver:       n.onDeliver,
+		Rebase:        n.rebaseOnView,
 	})
 	return n
 }
@@ -403,8 +431,13 @@ func NewNode(cfg NodeConfig) *Node {
 // Self returns this node's identity.
 func (n *Node) Self() NodeID { return n.self }
 
-// IsLeader reports whether this node leads its cluster.
+// IsLeader reports whether this node leads its cluster in its current
+// view.
 func (n *Node) IsLeader() bool { return n.consensus.IsLeader() }
+
+// CurrentView returns this node's consensus view, safe to read while the
+// event loop runs (the harness and tests watch failover progress).
+func (n *Node) CurrentView() uint64 { return n.consensus.CurrentView() }
 
 // Start registers the node with the network and launches its event loop.
 func (n *Node) Start() {
@@ -480,6 +513,7 @@ func (n *Node) onTick() {
 	n.expireParked()
 	n.pruneStoreStep()
 	n.maybeStateSync()
+	n.maybeSuspectLeader()
 	if n.IsLeader() {
 		n.maybeBuildBatch(false)
 	}
@@ -497,15 +531,14 @@ func (n *Node) Tip() int64 { return n.tip.Load() }
 func (n *Node) LogWindow() (int64, int) { return n.log.baseID(), n.log.len() }
 
 // StableCheckpoint returns the newest stable checkpoint's batch ID, or
-// -1 if none formed yet. Owned by the event loop: read after Stop.
-func (n *Node) StableCheckpoint() int64 {
-	if n.stable == nil {
-		return -1
-	}
-	return n.stable.id
-}
+// -1 if none formed yet. Safe to read while the event loop runs.
+func (n *Node) StableCheckpoint() int64 { return n.stableID.Load() }
 
-// leaderOf returns the leader identity of a cluster.
+// leaderOf returns the presumed leader identity of a cluster: the view-0
+// leader, since a remote cluster's current view is unknowable here. If
+// that cluster has since changed views, whichever replica receives the
+// message relays it to its actual leader (the Forwarded paths in
+// leader.go), so cross-cluster 2PC survives remote failovers.
 func leaderOf(cluster int32) NodeID {
 	return NodeID{Cluster: cluster, Replica: bft.LeaderReplica}
 }

@@ -37,6 +37,9 @@ type SystemConfig struct {
 	// StateTransferTimeout bounds a syncing replica's wait for a
 	// StateResponse before it retries another peer (0 = 1s).
 	StateTransferTimeout time.Duration
+	// ViewTimeout bounds each replica's wait for leader progress before
+	// it votes a PBFT view change (0 disables leader failover).
+	ViewTimeout time.Duration
 
 	// InitialData is the global initial key space; each cluster loads the
 	// subset the partitioner assigns to it.
@@ -145,6 +148,7 @@ func NewSystem(cfg SystemConfig) *System {
 				ReadExecutors:        cfg.ReadExecutors,
 				CheckpointInterval:   cfg.CheckpointInterval,
 				StateTransferTimeout: cfg.StateTransferTimeout,
+				ViewTimeout:          cfg.ViewTimeout,
 				InitialData:          perCluster[c],
 				GenesisHeader:        header,
 				GenesisCert:          cert,
@@ -248,8 +252,24 @@ func (s *System) Node(id NodeID) *Node {
 	return s.nodes[id]
 }
 
-// Leader returns the leader identity of a cluster.
-func (s *System) Leader(cluster int32) NodeID { return leaderOf(cluster) }
+// Leader returns the current leader identity of a cluster: the leader of
+// the highest view any of its live replicas runs in (replicas disagree
+// only transiently, mid view change). With failover disabled this is
+// always the view-0 leader.
+func (s *System) Leader(cluster int32) NodeID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 3*s.Cfg.F + 1
+	var view uint64
+	for r := 0; r < n; r++ {
+		if node := s.nodes[NodeID{Cluster: cluster, Replica: int32(r)}]; node != nil {
+			if v := node.CurrentView(); v > view {
+				view = v
+			}
+		}
+	}
+	return NodeID{Cluster: cluster, Replica: int32(view % uint64(n))}
+}
 
 // ReplicasPerCluster returns the cluster size.
 func (s *System) ReplicasPerCluster() int { return 3*s.Cfg.F + 1 }

@@ -1,0 +1,131 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"transedge/internal/bft"
+	"transedge/internal/client"
+	"transedge/internal/core"
+)
+
+// pokeUntilCommit retries single-key commits until one succeeds. Each
+// failed attempt still does protocol work: it lands on some replica,
+// which forwards to the (dead or byzantine) leader and arms its
+// leader-progress timer — exactly how real client traffic drives the
+// cluster into a view change.
+func pokeUntilCommit(t *testing.T, c *client.Client, keys []string, deadline time.Duration) {
+	t.Helper()
+	limit := time.Now().Add(deadline)
+	var lastErr error
+	for i := 0; time.Now().Before(limit); i++ {
+		txn := c.Begin()
+		txn.Write(keys[i%len(keys)], []byte(fmt.Sprintf("poke-%d", i)))
+		if lastErr = txn.Commit(); lastErr == nil {
+			return
+		}
+	}
+	t.Fatalf("no commit succeeded before the deadline; last error: %v", lastErr)
+}
+
+// TestCrashedLeaderFailover is the acceptance scenario of the issue: the
+// view-0 leader is killed mid-run and commits RESUME — the survivors
+// time out on leader progress, vote a view change, elect replica 1, and
+// serve the client again, all without operator intervention.
+func TestCrashedLeaderFailover(t *testing.T) {
+	sys := testSystem(t, 1, 1, 100, func(cfg *core.SystemConfig) {
+		cfg.CheckpointInterval = 8
+		cfg.ViewTimeout = 30 * time.Millisecond
+	})
+	c := client.New(client.Config{
+		ID: 1, Net: sys.Net, Ring: sys.Ring, Part: sys.Part,
+		Clusters: 1, Timeout: 2 * time.Second,
+	})
+	keys := keysOn(sys, 0, 8)
+
+	commitN(t, c, keys, 0, 10)
+	sys.StopReplica(core.NodeID{Cluster: 0, Replica: 0})
+
+	pokeUntilCommit(t, c, keys, 20*time.Second)
+
+	// The cluster must have moved past view 0 and off the dead leader.
+	if lead := sys.Leader(0); lead.Replica == 0 {
+		t.Fatalf("cluster still routed to the crashed view-0 leader: %v", lead)
+	}
+	views := 0
+	for r := int32(1); r < 4; r++ {
+		if v := sys.Node(core.NodeID{Cluster: 0, Replica: r}).CurrentView(); v > 0 {
+			views++
+		}
+	}
+	if views < 3 {
+		t.Fatalf("only %d/3 survivors installed a new view", views)
+	}
+
+	// Failover is stable: a run of ordinary commits flows through the new
+	// leader without retry loops.
+	commitN(t, c, keys, 100, 20)
+}
+
+// TestEquivocatingLeaderDeposed: a leader that equivocates (different
+// proposal content per follower) can never gather a prepare quorum, so
+// the cluster stalls — until the progress timers fire and depose it. The
+// satellite's integration claim: byzantine leadership is survived, not
+// just crash faults.
+func TestEquivocatingLeaderDeposed(t *testing.T) {
+	sys := testSystem(t, 1, 1, 100, func(cfg *core.SystemConfig) {
+		cfg.CheckpointInterval = 8
+		cfg.ViewTimeout = 30 * time.Millisecond
+		cfg.Byzantine = map[core.NodeID]bft.Behavior{
+			{Cluster: 0, Replica: 0}: {Equivocate: true},
+		}
+	})
+	c := client.New(client.Config{
+		ID: 1, Net: sys.Net, Ring: sys.Ring, Part: sys.Part,
+		Clusters: 1, Timeout: 2 * time.Second,
+	})
+	keys := keysOn(sys, 0, 8)
+
+	pokeUntilCommit(t, c, keys, 20*time.Second)
+
+	honestInNewView := 0
+	for r := int32(1); r < 4; r++ {
+		if sys.Node(core.NodeID{Cluster: 0, Replica: r}).CurrentView() > 0 {
+			honestInNewView++
+		}
+	}
+	if honestInNewView < 3 {
+		t.Fatalf("only %d/3 honest replicas deposed the equivocating leader", honestInNewView)
+	}
+
+	// With the byzantine node demoted to follower (f=1 tolerated), the
+	// cluster commits normally.
+	commitN(t, c, keys, 100, 20)
+}
+
+// TestViewTimeoutDisabledKeepsSeedBehavior: with ViewTimeout zero
+// (the default), a crashed leader stalls the cluster — requests time out
+// and no replica ever leaves view 0. Pins that failover is strictly
+// opt-in and the seed semantics are unchanged.
+func TestViewTimeoutDisabledKeepsSeedBehavior(t *testing.T) {
+	sys := testSystem(t, 1, 1, 100)
+	c := client.New(client.Config{
+		ID: 1, Net: sys.Net, Ring: sys.Ring, Part: sys.Part,
+		Clusters: 1, Timeout: 500 * time.Millisecond,
+	})
+	keys := keysOn(sys, 0, 4)
+	commitN(t, c, keys, 0, 3)
+
+	sys.StopReplica(core.NodeID{Cluster: 0, Replica: 0})
+	txn := c.Begin()
+	txn.Write(keys[0], []byte("stalled"))
+	if err := txn.Commit(); err == nil {
+		t.Fatal("commit succeeded with the leader dead and failover disabled")
+	}
+	for r := int32(1); r < 4; r++ {
+		if v := sys.Node(core.NodeID{Cluster: 0, Replica: r}).CurrentView(); v != 0 {
+			t.Fatalf("replica %d moved to view %d with failover disabled", r, v)
+		}
+	}
+}

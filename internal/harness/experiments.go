@@ -593,13 +593,14 @@ var Experiments = map[string]func(Scale) []Point{
 	"table1":    Table1,
 	"pipeline":  Pipeline,
 	"hotpath":   Hotpath,
-	"readscale": ReadScale,
-	"recovery":  Recovery,
+	"readscale":  ReadScale,
+	"recovery":   Recovery,
+	"viewchange": ViewChange,
 }
 
 // Order lists experiments in paper order for -experiment all.
 var Order = []string{
 	"fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 	"fig10", "fig12", "fig13", "fig14", "fig15", "table1",
-	"pipeline", "hotpath", "readscale", "recovery",
+	"pipeline", "hotpath", "readscale", "recovery", "viewchange",
 }

@@ -66,6 +66,9 @@ type Config struct {
 	// RetainBatches bounds each replica's historical snapshot window
 	// (0 = keep everything, the system default).
 	RetainBatches int
+	// ViewTimeout enables PBFT leader failover (0 = disabled, the system
+	// default; the viewchange experiment sets it).
+	ViewTimeout time.Duration
 
 	// Worker counts (the paper uses 2 clients x 10 threads).
 	ROWorkers int
@@ -318,6 +321,7 @@ func runTransEdgeLike(cfg Config) Result {
 		CheckpointInterval:   cfg.CheckpointInterval,
 		StateTransferTimeout: cfg.StateTransferTimeout,
 		RetainBatches:        cfg.RetainBatches,
+		ViewTimeout:          cfg.ViewTimeout,
 		IntraLatency:         cfg.IntraLatency,
 		InterLatency:         cfg.InterLatency,
 		InitialData:          gen.InitialData(),

@@ -1,0 +1,217 @@
+// The viewchange experiment: kill the leader of a loaded cluster and
+// measure how long commits take to resume under a new leader — the
+// failover latency and throughput dip of the PBFT view change
+// (DESIGN.md §7). The companion of the recovery experiment: recovery
+// kills a follower (quorum survives, nothing stalls); this kills the one
+// replica whose absence stalls everything until the cluster votes it out.
+package harness
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"transedge/internal/client"
+	"transedge/internal/core"
+	"transedge/internal/workload"
+)
+
+// ViewChangeResult captures one leader-failover run.
+type ViewChangeResult struct {
+	// Baseline, Failover, Recovered are the commit stats for the three
+	// load phases: old leader up, the window from the kill until the new
+	// view commits (the dip), and steady state under the new leader.
+	Baseline  Stats
+	Failover  Stats
+	Recovered Stats
+	// FailoverTime is how long after the kill every survivor had
+	// installed a new view AND the committed tip advanced past its
+	// at-kill value — i.e. commits demonstrably resumed.
+	FailoverTime time.Duration
+	FailedOver   bool
+	// ViewChanges / LeaderSuspects are summed across replicas after the
+	// run: how many new views installed and how many progress timeouts
+	// fired to get there.
+	ViewChanges    int64
+	LeaderSuspects int64
+	HeapMB         float64
+	MaxLogLen      int64
+}
+
+// RunViewChange executes the kill-the-leader scenario. Phases 0 and 2
+// each run for cfg.Duration; the failover deadline is ten times that.
+func RunViewChange(cfg Config) ViewChangeResult {
+	cfg = cfg.withDefaults()
+	gen := workload.New(workload.Config{
+		Keys: cfg.Keys, ValueSize: cfg.ValueSize, Clusters: cfg.Clusters, Seed: cfg.Seed,
+	})
+	sys := core.NewSystem(core.SystemConfig{
+		Clusters:             cfg.Clusters,
+		F:                    cfg.F,
+		Seed:                 uint64(cfg.Seed),
+		BatchInterval:        cfg.BatchInterval,
+		BatchMaxSize:         cfg.BatchMaxSize,
+		PipelineDepth:        cfg.PipelineDepth,
+		StoreShards:          cfg.StoreShards,
+		ReadExecutors:        cfg.ReadExecutors,
+		CheckpointInterval:   cfg.CheckpointInterval,
+		StateTransferTimeout: cfg.StateTransferTimeout,
+		RetainBatches:        cfg.RetainBatches,
+		ViewTimeout:          cfg.ViewTimeout,
+		IntraLatency:         cfg.IntraLatency,
+		InterLatency:         cfg.InterLatency,
+		InitialData:          gen.InitialData(),
+	})
+	sys.Start()
+
+	var (
+		phases [3]collector
+		phase  atomic.Int32
+		stop   atomic.Bool
+		wg     sync.WaitGroup
+		leader = core.NodeID{Cluster: 0, Replica: 0}
+	)
+	// Client timeouts are tight relative to the view timeout: the contact
+	// rotation divides the budget across the cluster, so a worker stuck on
+	// the dead leader moves to a live replica (arming its progress timer)
+	// within a couple of view-timeout periods instead of parking for the
+	// usual 30s RPC budget.
+	clientTimeout := 10 * cfg.ViewTimeout
+	if clientTimeout <= 0 {
+		clientTimeout = time.Second
+	}
+	for w := 0; w < cfg.RWWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := client.New(client.Config{
+				ID: uint32(200 + w), Net: sys.Net, Ring: sys.Ring, Part: sys.Part,
+				Clusters: cfg.Clusters, Timeout: clientTimeout, Seed: cfg.Seed,
+			})
+			g := workload.New(workload.Config{
+				Keys: cfg.Keys, ValueSize: cfg.ValueSize, Clusters: cfg.Clusters,
+				Seed: cfg.Seed + int64(w)*17, ReadOps: asWorkloadOps(cfg.ReadOps),
+				WriteOps:      asWorkloadOps(cfg.WriteOps),
+				LocalFraction: cfg.LocalFraction,
+			})
+			for !stop.Load() {
+				runRW(c, g, &phases[phase.Load()])
+			}
+		}(w)
+	}
+
+	// Phase 0: the view-0 leader drives commits.
+	time.Sleep(cfg.Duration)
+
+	// Survivor observation points (replicas 1..n-1 of cluster 0).
+	survivors := make([]*core.Node, 0, sys.ReplicasPerCluster()-1)
+	for r := 1; r < sys.ReplicasPerCluster(); r++ {
+		survivors = append(survivors, sys.Node(core.NodeID{Cluster: 0, Replica: int32(r)}))
+	}
+	maxTip := func() int64 {
+		var tip int64
+		for _, n := range survivors {
+			if t := n.Tip(); t > tip {
+				tip = t
+			}
+		}
+		return tip
+	}
+	tipAtKill := maxTip()
+
+	// Phase 1: kill the leader; the dip window lasts until commits resume
+	// under a new view (or the deadline passes).
+	phase.Store(1)
+	sys.StopReplica(leader)
+	killed := time.Now()
+	res := ViewChangeResult{}
+	deadline := killed.Add(10 * cfg.Duration)
+	for time.Now().Before(deadline) {
+		installed := true
+		for _, n := range survivors {
+			if n.CurrentView() == 0 {
+				installed = false
+				break
+			}
+		}
+		if installed && maxTip() > tipAtKill {
+			res.FailedOver = true
+			break
+		}
+		time.Sleep(cfg.Duration / 100)
+	}
+	res.FailoverTime = time.Since(killed)
+	dipWindow := time.Since(killed)
+
+	// Phase 2: steady state under the new leader.
+	phase.Store(2)
+	time.Sleep(cfg.Duration)
+
+	stop.Store(true)
+	wg.Wait()
+	res.Baseline = phases[0].stats(cfg.Duration)
+	res.Failover = phases[1].stats(dipWindow)
+	res.Recovered = phases[2].stats(cfg.Duration)
+	res.HeapMB = liveHeapMB()
+	sys.Stop()
+	res.MaxLogLen = maxLogLen(sys)
+	res.ViewChanges = sys.NodeMetrics(func(m *core.Metrics) int64 { return m.ViewChanges })
+	res.LeaderSuspects = sys.NodeMetrics(func(m *core.Metrics) int64 { return m.LeaderSuspects })
+	return res
+}
+
+// ViewChange — the harness experiment: one cluster under sustained local
+// write load, its leader killed mid-run. Rows record the commit
+// throughput of the three phases (baseline / the dip while the cluster
+// votes / recovered under the new leader) and the failover latency. A
+// negative failover latency means the cluster never failed over.
+func ViewChange(s Scale) []Point {
+	cfg := s.base()
+	cfg.Protocol = TransEdge
+	cfg.Clusters = 1
+	cfg.ROWorkers = 0
+	cfg.RWWorkers = s.RWWorkers * 2
+	cfg.LocalFraction = 1.0
+	cfg.ReadOps = NoOps
+	cfg.WriteOps = 3
+	cfg.CheckpointInterval = 16
+	cfg.StateTransferTimeout = 10 * time.Millisecond
+	cfg.RetainBatches = 32
+	cfg.IntraLatency = 2 * s.LatencyUnit
+	cfg.InterLatency = 2 * s.LatencyUnit
+	// The view timeout scales with the injected latency but never drops
+	// below a floor that keeps scheduler jitter from firing spurious view
+	// changes at quick scale.
+	cfg.ViewTimeout = 100 * s.LatencyUnit
+	if cfg.ViewTimeout < 25*time.Millisecond {
+		cfg.ViewTimeout = 25 * time.Millisecond
+	}
+	r := RunViewChange(cfg)
+
+	rt := Result{HeapMB: r.HeapMB, MaxLogLen: r.MaxLogLen}
+	failoverMS := ms(r.FailoverTime)
+	if !r.FailedOver {
+		failoverMS = -1 // sentinel: the deadline expired
+	}
+	return []Point{
+		withRuntime(Point{
+			Experiment: "viewchange", Series: "TransEdge", X: "baseline",
+			ThroughputTPS: r.Baseline.Throughput, LatencyMS: ms(r.Baseline.Mean),
+			P99MS: ms(r.Baseline.P99), AbortPct: r.Baseline.AbortPct(),
+		}, rt),
+		withRuntime(Point{
+			Experiment: "viewchange", Series: "TransEdge", X: "leader-down",
+			ThroughputTPS: r.Failover.Throughput, LatencyMS: ms(r.Failover.Mean),
+			P99MS: ms(r.Failover.P99), AbortPct: r.Failover.AbortPct(),
+		}, rt),
+		withRuntime(Point{
+			Experiment: "viewchange", Series: "TransEdge", X: "recovered",
+			ThroughputTPS: r.Recovered.Throughput, LatencyMS: ms(r.Recovered.Mean),
+			P99MS: ms(r.Recovered.P99), AbortPct: r.Recovered.AbortPct(),
+		}, rt),
+		withRuntime(Point{
+			Experiment: "viewchange", Series: "TransEdge", X: "failover",
+			LatencyMS: failoverMS,
+		}, rt),
+	}
+}

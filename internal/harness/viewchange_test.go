@@ -1,0 +1,42 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// TestViewChangeExperiment pins the leader-failover scenario end to end
+// at test scale: the cluster commits before the kill, fails over to a
+// new leader within the deadline, and commits again afterwards.
+func TestViewChangeExperiment(t *testing.T) {
+	// The failover deadline is 10x Duration and the view timeout has a
+	// 25ms floor, so give the phases a window comfortably above it.
+	scale := tinyScale
+	scale.Duration = 300 * time.Millisecond
+	pts := ViewChange(scale)
+	byX := make(map[string]Point, len(pts))
+	for _, p := range pts {
+		byX[p.X] = p
+	}
+	base, ok := byX["baseline"]
+	if !ok {
+		t.Fatal("missing baseline row")
+	}
+	if base.ThroughputTPS <= 0 {
+		t.Fatal("no baseline commit throughput")
+	}
+	fail, ok := byX["failover"]
+	if !ok {
+		t.Fatal("missing failover row")
+	}
+	if fail.LatencyMS < 0 {
+		t.Fatal("cluster never failed over to a new leader")
+	}
+	rec := byX["recovered"]
+	if rec.ThroughputTPS <= 0 {
+		t.Fatal("commits never resumed under the new leader")
+	}
+	if base.HeapMB <= 0 || base.LogLen <= 0 {
+		t.Fatal("runtime footprint not recorded")
+	}
+}

@@ -87,6 +87,11 @@ type StateResponse struct {
 	Entries    []SnapshotEntry        // sorted by key
 	Groups     []CheckpointGroup      // ascending PrepareBatch
 	Suffix     []CertifiedBatch       // delivered batches in (CheckpointID, tip]
+	// View is the responder's current consensus view, so a replica that
+	// recovers through state transfer rejoins at the view the cluster
+	// actually runs in instead of view 0. Unauthenticated: a lying
+	// responder can at worst cause a bounded liveness hiccup (DESIGN §7).
+	View uint64
 }
 
 // SnapshotDigest hashes the (key, writer) pairs of a store snapshot.

@@ -89,6 +89,9 @@ type CoordinatorPrepare struct {
 	TxnID        TxnID
 	CoordCluster int32
 	Proof        PrepareProof
+	// Forwarded marks a copy relayed by a follower to its current leader
+	// after a view change; relays of relays are dropped to bound hops.
+	Forwarded bool
 }
 
 // PreparedVote is step 5 of Fig. 3: a participant reports its 2PC vote
@@ -101,6 +104,8 @@ type PreparedVote struct {
 	FromCluster int32
 	Vote        Decision
 	Proof       PrepareProof
+	// Forwarded marks a follower-to-leader relay; see CoordinatorPrepare.
+	Forwarded bool
 }
 
 // CommitDecision is step 7 of Fig. 3: the coordinator distributes the
@@ -112,4 +117,6 @@ type CommitDecision struct {
 	CoordCluster int32
 	Decision     Decision
 	Votes        []PreparedVote
+	// Forwarded marks a follower-to-leader relay; see CoordinatorPrepare.
+	Forwarded bool
 }

@@ -1,0 +1,146 @@
+package protocol
+
+import (
+	"reflect"
+	"testing"
+
+	"transedge/internal/cryptoutil"
+)
+
+func testTipHeader() BatchHeader {
+	b := &Batch{
+		Cluster:    2,
+		ID:         17,
+		PrevDigest: cryptoutil.Hash([]byte("prev")),
+		Timestamp:  424242,
+		CD:         CDVector{5, NoDependency, 9},
+		LCE:        7,
+		MerkleRoot: cryptoutil.Hash([]byte("root")),
+	}
+	return b.Header()
+}
+
+func TestBatchHeaderRoundTrip(t *testing.T) {
+	h := testTipHeader()
+	enc := h.Encode()
+	got, err := DecodeBatchHeader(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(*got, h) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", *got, h)
+	}
+	if got.Digest() != h.Digest() {
+		t.Fatal("digest changed across round trip")
+	}
+
+	bad := append([]byte(nil), enc...)
+	bad[0] ^= 0xff
+	if _, err := DecodeBatchHeader(bad); err == nil {
+		t.Fatal("corrupted domain tag decoded without error")
+	}
+	if _, err := DecodeBatchHeader(enc[:len(enc)-3]); err == nil {
+		t.Fatal("truncated header decoded without error")
+	}
+	if _, err := DecodeBatchHeader(append(append([]byte(nil), enc...), 0)); err == nil {
+		t.Fatal("trailing garbage decoded without error")
+	}
+}
+
+func testViewChange() *ViewChange {
+	body := (&Batch{Cluster: 2, ID: 18, PrevDigest: cryptoutil.Hash([]byte("tip")),
+		Timestamp: 5, CD: CDVector{1, 2, 3}, LCE: -1}).Seal()
+	return &ViewChange{
+		Cluster:   2,
+		Replica:   3,
+		View:      9,
+		TipHeader: testTipHeader(),
+		TipCert: cryptoutil.Certificate{Cluster: 2, Signatures: []cryptoutil.Signature{
+			{Signer: cryptoutil.NodeID{Cluster: 2, Replica: 0}, Sig: []byte("sig-a")},
+			{Signer: cryptoutil.NodeID{Cluster: 2, Replica: 1}, Sig: []byte("sig-b")},
+		}},
+		Entries: []PreparedEntry{
+			{ID: 18, View: 8, Digest: body.Digest(), Batch: body, Prepares: []PrepareSig{
+				{Replica: 0, Sig: []byte("p0")},
+				{Replica: 2, Sig: []byte("p2")},
+				{Replica: 3, Sig: []byte("p3")},
+			}},
+			{ID: 19, View: 9, Digest: cryptoutil.Hash([]byte("d19")), Prepares: []PrepareSig{
+				{Replica: 3, Sig: []byte("q3")},
+			}},
+		},
+		Sig: []byte("vote-sig"),
+	}
+}
+
+func TestViewChangeRoundTrip(t *testing.T) {
+	vc := testViewChange()
+	got, err := DecodeViewChange(EncodeViewChange(vc))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	// Bodies are deliberately not wired: decode leaves Entry.Batch nil.
+	if got.Entries[0].Batch != nil {
+		t.Fatal("batch body survived the wire; encoding must exclude bodies")
+	}
+	want := *vc
+	want.Entries = append([]PreparedEntry(nil), vc.Entries...)
+	want.Entries[0].Batch = nil
+	if !reflect.DeepEqual(*got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", *got, want)
+	}
+	// The vote digest excludes bodies, so it is stable across the wire.
+	if ViewChangeDigest(got) != ViewChangeDigest(vc) {
+		t.Fatal("ViewChangeDigest changed across round trip")
+	}
+
+	enc := EncodeViewChange(vc)
+	if _, err := DecodeViewChange(enc[:len(enc)-2]); err == nil {
+		t.Fatal("truncated vote decoded without error")
+	}
+}
+
+func TestNewViewRoundTrip(t *testing.T) {
+	a := testViewChange()
+	b := testViewChange()
+	b.Replica = 1
+	b.Entries = b.Entries[:1]
+	nv := &NewView{Cluster: 2, View: 9, Votes: []*ViewChange{a, b}}
+	got, err := DecodeNewView(EncodeNewView(nv))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Cluster != 2 || got.View != 9 || len(got.Votes) != 2 {
+		t.Fatalf("round trip header mismatch: %+v", got)
+	}
+	if got.Votes[0].Replica != a.Replica || got.Votes[1].Replica != b.Replica {
+		t.Fatal("vote order not preserved")
+	}
+	if ViewChangeDigest(got.Votes[0]) != ViewChangeDigest(a) ||
+		ViewChangeDigest(got.Votes[1]) != ViewChangeDigest(b) {
+		t.Fatal("nested vote digests changed across round trip")
+	}
+}
+
+// TestPrepareSigDigestSeparation: the prepare-signature message is
+// deterministic in its inputs and distinct across every coordinate —
+// cluster, view, slot, digest — so a signature can never be replayed for
+// a different slot or view.
+func TestPrepareSigDigestSeparation(t *testing.T) {
+	d := cryptoutil.Hash([]byte("batch"))
+	base := PrepareSigDigest(1, 2, 3, d)
+	if PrepareSigDigest(1, 2, 3, d) != base {
+		t.Fatal("PrepareSigDigest not deterministic")
+	}
+	variants := []Digest{
+		PrepareSigDigest(2, 2, 3, d),
+		PrepareSigDigest(1, 3, 3, d),
+		PrepareSigDigest(1, 2, 4, d),
+		PrepareSigDigest(1, 2, 3, cryptoutil.Hash([]byte("other"))),
+	}
+	for i, v := range variants {
+		if v == base {
+			t.Fatalf("variant %d collides with base digest", i)
+		}
+	}
+}

@@ -55,6 +55,43 @@ func ClusterLatency(intra, inter time.Duration) LatencyFunc {
 	}
 }
 
+// ComposeFilters ANDs drop filters: a message is delivered only if every
+// non-nil filter passes it. Useful to layer a partition on top of an
+// existing byzantine filter without losing either.
+func ComposeFilters(filters ...FilterFunc) FilterFunc {
+	return func(e Envelope) bool {
+		for _, f := range filters {
+			if f != nil && !f(e) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// SilenceOutbound builds an asymmetric partition around one node: its
+// outbound messages to destinations matched by to are dropped while all
+// inbound links stay up — the node keeps hearing a cluster that can no
+// longer hear it (the nastiest shape for a leader, which keeps believing
+// it leads while the rest of the cluster times out on it).
+func SilenceOutbound(node NodeID, to func(NodeID) bool) FilterFunc {
+	return func(e Envelope) bool {
+		return !(e.From == node && to(e.To))
+	}
+}
+
+// SlowLinks wraps a latency model, adding extra delay on every link
+// matched by slow — targeted link degradation rather than a clean cut.
+func SlowLinks(base LatencyFunc, extra time.Duration, slow func(from, to NodeID) bool) LatencyFunc {
+	return func(from, to NodeID) time.Duration {
+		d := base(from, to)
+		if slow(from, to) {
+			d += extra
+		}
+		return d
+	}
+}
+
 // Stats counts network traffic; tests use it to validate the message
 // complexity claims (e.g., read-only transactions touch one node per
 // partition).
@@ -279,7 +316,19 @@ func (n *Network) dispatch(env Envelope, box *mailbox, lat time.Duration, filter
 		deliver()
 		return
 	}
+	// The WaitGroup increment must be ordered against Stop: Stop sets
+	// stopped under the write lock and then Waits, so checking stopped and
+	// Adding under the read lock guarantees no timer is registered after
+	// Wait has begun (Add-after-Wait is a WaitGroup violation; the old
+	// unlocked Add raced exactly that way with a concurrent Stop).
+	n.mu.RLock()
+	if n.stopped {
+		n.mu.RUnlock()
+		n.Stats.Dropped.Add(1)
+		return
+	}
 	n.timers.Add(1)
+	n.mu.RUnlock()
 	time.AfterFunc(lat, func() {
 		defer n.timers.Done()
 		n.mu.RLock()

@@ -81,6 +81,11 @@ type Options struct {
 	// for a peer's state response before asking the next peer
 	// (default 1s).
 	StateTransferTimeout time.Duration
+	// ViewTimeout bounds how long each replica waits for leader progress
+	// on pending work before voting a PBFT view change, electing the next
+	// replica (round-robin) as leader. Zero disables leader failover: a
+	// crashed leader then stalls its cluster until restarted.
+	ViewTimeout time.Duration
 
 	// IntraClusterLatency and InterClusterLatency shape the simulated
 	// network (defaults: zero).
@@ -134,6 +139,7 @@ func Start(opts Options) (*System, error) {
 		ReadExecutors:        opts.ReadExecutors,
 		CheckpointInterval:   opts.CheckpointInterval,
 		StateTransferTimeout: opts.StateTransferTimeout,
+		ViewTimeout:          opts.ViewTimeout,
 		IntraLatency:         opts.IntraClusterLatency,
 		InterLatency:         opts.InterClusterLatency,
 		FreshnessWindow:      opts.FreshnessWindow,
