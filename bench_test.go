@@ -492,6 +492,31 @@ func BenchmarkViewChange(b *testing.B) {
 	}
 }
 
+// BenchmarkDurability — the durability experiment: commit throughput
+// with the group-commit WAL fsyncing, with fsync disabled, and with
+// durability off entirely, plus the cold-restart latency of a whole
+// cluster rebuilt from its checkpoints and WAL suffix. Run by the CI
+// bench smoke so BENCH_durability.json cannot silently rot.
+func BenchmarkDurability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := harness.Durability(benchScale)
+		on := pick(pts, "TransEdge", "fsync-on")
+		off := pick(pts, "TransEdge", "fsync-off")
+		none := pick(pts, "TransEdge", "no-wal")
+		cold := pick(pts, "TransEdge", "cold-restart")
+		if on == nil || off == nil || none == nil || cold == nil {
+			b.Fatal("missing series")
+		}
+		if cold.LatencyMS < 0 {
+			b.Fatal("cold restart failed to recover or verify reads")
+		}
+		b.ReportMetric(on.ThroughputTPS, "tps_fsync_on")
+		b.ReportMetric(off.ThroughputTPS, "tps_fsync_off")
+		b.ReportMetric(none.ThroughputTPS, "tps_no_wal")
+		b.ReportMetric(cold.LatencyMS, "cold_restart_ms")
+	}
+}
+
 // BenchmarkTable1ReadOnlyInterference — read-write aborts caused by
 // read-only transactions: ~0 for TransEdge, growing with cluster count
 // for Augustus.

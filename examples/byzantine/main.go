@@ -18,12 +18,21 @@
 // fault injection is (deliberately) not part of the public API.
 //
 //	go run ./examples/byzantine
+//
+// With -datadir every staged deployment also runs the durability layer
+// (WAL + disk checkpoints, each attack in its own subdirectory), so the
+// fleet doubles as a check that fault handling and the durability path
+// compose.
+//
+//	go run ./examples/byzantine -datadir /tmp/fleet
 package main
 
 import (
 	"errors"
+	"flag"
 	"fmt"
 	"log"
+	"path/filepath"
 	"time"
 
 	"transedge/internal/bft"
@@ -32,6 +41,23 @@ import (
 	"transedge/internal/protocol"
 	"transedge/internal/transport"
 )
+
+// datadir, when set, turns on the durability layer for every staged
+// deployment. Each build gets its own subdirectory: the attacks reuse
+// one seed, and a shared dir would make attack N+1 cold-restart from
+// attack N's WAL instead of starting fresh.
+var (
+	datadir  = flag.String("datadir", "", "enable durability; each attack uses its own subdir")
+	fleetSeq int
+)
+
+func fleetDataDir() string {
+	if *datadir == "" {
+		return ""
+	}
+	fleetSeq++
+	return filepath.Join(*datadir, fmt.Sprintf("attack-%02d", fleetSeq))
+}
 
 func buildSystem(ro map[core.NodeID]core.ROBehavior) *core.System {
 	data := map[string][]byte{}
@@ -45,6 +71,7 @@ func buildSystem(ro map[core.NodeID]core.ROBehavior) *core.System {
 		BatchInterval: time.Millisecond,
 		InitialData:   data,
 		ROByzantine:   ro,
+		DataDir:       fleetDataDir(),
 	})
 	sys.Start()
 	return sys
@@ -66,6 +93,7 @@ func buildFaultSystem(mut func(*core.SystemConfig)) *core.System {
 		CheckpointInterval: 8,
 		ViewTimeout:        30 * time.Millisecond,
 		InitialData:        data,
+		DataDir:            fleetDataDir(),
 	}
 	if mut != nil {
 		mut(&cfg)
@@ -145,6 +173,7 @@ func requireNewView(sys *core.System, rs ...int32) {
 }
 
 func main() {
+	flag.Parse()
 	evil := core.NodeID{Cluster: 0, Replica: 0} // the partition's leader
 
 	fmt.Println("attack 1: leader serves forged values (proofs unchanged)")

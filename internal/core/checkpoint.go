@@ -219,6 +219,10 @@ func (n *Node) maybeStabilize(cs *checkpointState) {
 	n.stableID.Store(cs.id)
 	n.Metrics.CheckpointsStable++
 	n.truncateBelow(cs.id)
+	// Persist the quorum-backed checkpoint and truncate the WAL below it:
+	// from here on a cold restart rebuilds from this state instead of
+	// replaying history from genesis.
+	n.persistCheckpoint(cs)
 }
 
 // truncateBelow drops log entries, Merkle versions, and (via the
@@ -432,7 +436,20 @@ func (n *Node) onStateResponse(from NodeID, m *protocol.StateResponse) {
 	n.serveParked()
 }
 
-// installCheckpoint verifies a stable checkpoint against its two
+// installCheckpoint verifies and installs a stable checkpoint received
+// from a peer, then persists it locally (it is the newest durable state
+// this replica can prove).
+func (n *Node) installCheckpoint(m *protocol.StateResponse) error {
+	if err := n.installCheckpointParts(m.CheckpointID, m.Header, m.HeaderCert,
+		m.Cert, m.Entries, m.Groups); err != nil {
+		return err
+	}
+	n.Metrics.StateTransfers++
+	n.persistCheckpoint(n.stable)
+	return nil
+}
+
+// installCheckpointParts verifies a stable checkpoint against its two
 // certificates and replaces this replica's state with it:
 //
 //  1. the f+1 consensus certificate authenticates the batch header
@@ -443,36 +460,42 @@ func (n *Node) onStateResponse(from NodeID, m *protocol.StateResponse) {
 //  3. rebuilding the Merkle tree from the shipped entries must
 //     reproduce the certified root, authenticating the values.
 //
-// Only after every check passes is any local state touched.
-func (n *Node) installCheckpoint(m *protocol.StateResponse) error {
-	h := &m.Header
-	if h.Cluster != n.cfg.Cluster || h.ID != m.CheckpointID {
+// Only after every check passes is any local state touched. Both sources
+// of checkpoints — a peer's StateResponse and the local checkpoint file
+// of a cold restart — go through this exact chain: disk is verified like
+// an untrusted peer.
+func (n *Node) installCheckpointParts(id int64, header protocol.BatchHeader,
+	headerCert, cert cryptoutil.Certificate,
+	entries []protocol.SnapshotEntry, groups []protocol.CheckpointGroup) error {
+
+	h := &header
+	if h.Cluster != n.cfg.Cluster || h.ID != id {
 		return errSync("header position mismatch")
 	}
 	headerDigest := h.Digest()
-	if err := cryptoutil.VerifyCertificate(n.cfg.Ring, m.HeaderCert, headerDigest[:], n.cfg.F+1); err != nil {
+	if err := cryptoutil.VerifyCertificate(n.cfg.Ring, headerCert, headerDigest[:], n.cfg.F+1); err != nil {
 		return errSync("header certificate: %v", err)
 	}
-	for i := 1; i < len(m.Entries); i++ {
-		if m.Entries[i-1].Key >= m.Entries[i].Key {
+	for i := 1; i < len(entries); i++ {
+		if entries[i-1].Key >= entries[i].Key {
 			return errSync("snapshot entries not strictly key-sorted")
 		}
 	}
-	for i := 1; i < len(m.Groups); i++ {
-		if m.Groups[i-1].PrepareBatch >= m.Groups[i].PrepareBatch {
+	for i := 1; i < len(groups); i++ {
+		if groups[i-1].PrepareBatch >= groups[i].PrepareBatch {
 			return errSync("groups out of order")
 		}
 	}
-	digest := protocol.CheckpointDigest(n.cfg.Cluster, m.CheckpointID, headerDigest,
-		protocol.SnapshotDigest(m.Entries), protocol.GroupsDigest(m.Groups))
-	if err := cryptoutil.VerifyCertificate(n.cfg.Ring, m.Cert, digest[:], n.chkQuorum()); err != nil {
+	digest := protocol.CheckpointDigest(n.cfg.Cluster, id, headerDigest,
+		protocol.SnapshotDigest(entries), protocol.GroupsDigest(groups))
+	if err := cryptoutil.VerifyCertificate(n.cfg.Ring, cert, digest[:], n.chkQuorum()); err != nil {
 		return errSync("checkpoint certificate: %v", err)
 	}
-	ups := make([]merkle.Update, len(m.Entries))
-	for i := range m.Entries {
+	ups := make([]merkle.Update, len(entries))
+	for i := range entries {
 		ups[i] = merkle.Update{
-			KeyHash: merkle.HashKey([]byte(m.Entries[i].Key)),
-			ValHash: merkle.HashValue(m.Entries[i].Value),
+			KeyHash: merkle.HashKey([]byte(entries[i].Key)),
+			ValHash: merkle.HashValue(entries[i].Value),
 		}
 	}
 	tree := merkle.Build(ups)
@@ -484,16 +507,16 @@ func (n *Node) installCheckpoint(m *protocol.StateResponse) error {
 	// from the abandoned prefix is discarded wholesale (a recovering
 	// replica has none; a lagging one rebuilds from the checkpoint).
 	n.rollbackSpec(0)
-	kvs := make([]store.KV, len(m.Entries))
-	for i := range m.Entries {
-		kvs[i] = store.KV{Key: m.Entries[i].Key, Value: m.Entries[i].Value, Writer: m.Entries[i].Writer}
+	kvs := make([]store.KV, len(entries))
+	for i := range entries {
+		kvs[i] = store.KV{Key: entries[i].Key, Value: entries[i].Value, Writer: entries[i].Writer}
 	}
-	n.st.ImportAsOf(m.CheckpointID, kvs)
+	n.st.ImportAsOf(id, kvs)
 	n.curTree = tree
-	n.trees = map[int64]*merkle.Tree{m.CheckpointID: tree}
-	n.log.init(m.CheckpointID, &logEntry{header: m.Header, digest: headerDigest, cert: m.HeaderCert})
-	n.tip.Store(m.CheckpointID)
-	n.oldestSnapshot = m.CheckpointID
+	n.trees = map[int64]*merkle.Tree{id: tree}
+	n.log.init(id, &logEntry{header: header, digest: headerDigest, cert: headerCert})
+	n.tip.Store(id)
+	n.oldestSnapshot = id
 	n.pruneCursor, n.pruneBoundary, n.prunedThrough = 0, 0, 0
 
 	n.groups = n.groups[:0]
@@ -501,13 +524,13 @@ func (n *Node) installCheckpoint(m *protocol.StateResponse) error {
 	n.preparedWrites = make(keyRefs)
 	n.distTxns = make(map[protocol.TxnID]*distTxn)
 	n.pendingDecisions = make(map[protocol.TxnID]*protocol.CommitDecision)
-	for _, cg := range m.Groups {
+	for _, cg := range groups {
 		g := &group{prepareBatch: cg.PrepareBatch}
 		for i := range cg.Recs {
 			rec := cg.Recs[i]
-			id := rec.Txn.ID
-			g.ids = append(g.ids, id)
-			n.distTxns[id] = &distTxn{rec: rec, prepareBatch: cg.PrepareBatch}
+			tid := rec.Txn.ID
+			g.ids = append(g.ids, tid)
+			n.distTxns[tid] = &distTxn{rec: rec, prepareBatch: cg.PrepareBatch}
 			for _, r := range n.localReads(&rec.Txn) {
 				n.preparedReads.add(r.Key)
 			}
@@ -522,12 +545,11 @@ func (n *Node) installCheckpoint(m *protocol.StateResponse) error {
 	// certificate, so we can serve state transfers ourselves.
 	n.chk = nil
 	n.stable = &checkpointState{
-		id: m.CheckpointID, digest: digest, header: m.Header,
-		headerCert: m.HeaderCert, groups: m.Groups, entries: m.Entries,
-		cert: m.Cert, stable: true,
+		id: id, digest: digest, header: header,
+		headerCert: headerCert, groups: groups, entries: entries,
+		cert: cert, stable: true,
 	}
-	n.stableID.Store(m.CheckpointID)
-	n.Metrics.StateTransfers++
+	n.stableID.Store(id)
 	return nil
 }
 

@@ -12,6 +12,10 @@ import (
 // Fig. 3 all fire "after the batch is written").
 func (n *Node) onDeliver(cb protocol.CertifiedBatch) {
 	b := cb.Batch
+	// Write-ahead: the certified batch reaches the log before any state
+	// change below, so a crash at any point replays it on restart
+	// (durability follows the group-commit fsync policy; DESIGN.md §8).
+	n.walAppend(&cb)
 	// Header and digest are memoized on the sealed batch: this re-reads
 	// what consensus already computed instead of re-hashing the segments.
 	entry := &logEntry{batch: b, header: b.Header(), digest: b.Digest(), cert: cb.Cert}

@@ -21,6 +21,7 @@ import (
 	"transedge/internal/protocol"
 	"transedge/internal/store"
 	"transedge/internal/transport"
+	"transedge/internal/wal"
 )
 
 // NodeID aliases the system-wide identity.
@@ -95,6 +96,26 @@ type NodeConfig struct {
 	// genesis state and immediately requests a state transfer instead of
 	// waiting to observe that it is behind.
 	Recovering bool
+
+	// Engine overrides the storage backend (nil = the sharded in-memory
+	// MVCC store with StoreShards shards). Any store.Engine works; the
+	// durability layer sits above it.
+	Engine store.Engine
+	// DataDir enables the durability layer: certified batches are
+	// WAL-appended before delivery applies them, stable checkpoints are
+	// persisted atomically, and a restarted node cold-starts from this
+	// directory before falling back to peer state transfer. Empty
+	// disables durability (the seed's in-memory-only semantics).
+	DataDir string
+	// WALSyncEvery is the group-commit width: fsync after this many
+	// appended batches (0 = wal.DefaultSyncEvery; wal.SyncNever disables
+	// fsync entirely — the benchmarking mode, where the page cache is the
+	// only durability).
+	WALSyncEvery int
+	// WALSyncInterval bounds how stale an unsynced WAL tail may get: a
+	// partial group is fsynced at the next tick once this much time has
+	// passed since its first unsynced append (0 = wal.DefaultSyncInterval).
+	WALSyncInterval time.Duration
 
 	// Genesis state shared by every replica of the cluster.
 	InitialData   map[string][]byte
@@ -182,7 +203,7 @@ type Node struct {
 	// peers lists the other replicas of this cluster, for broadcasts.
 	peers []NodeID
 
-	st      *store.Store
+	st      store.Engine
 	curTree *merkle.Tree
 	trees   map[int64]*merkle.Tree
 	// log is the retained window of committed batches: everything below
@@ -258,6 +279,23 @@ type Node struct {
 	// live (peers are past them; no quorum could form).
 	replaying bool
 
+	// Durability layer (DESIGN.md §8), active only with a DataDir. wal is
+	// the group-commit log certified batches append to before delivery
+	// applies them; walReplay gates re-appending while the cold-restart
+	// path replays the suffix out of the very same log. A WAL that errors
+	// (disk full, injected crash) is closed and dropped — the replica
+	// degrades to in-memory operation (counted in Metrics.WALErrors)
+	// rather than halting consensus.
+	wal       *wal.Log
+	walReplay bool
+	// walHandle mirrors wal for the WAL() accessor: crash-injection tests
+	// grab the handle while the loop runs, so the pointer is published
+	// atomically.
+	walHandle atomic.Pointer[wal.Log]
+	// persistedChk is the newest checkpoint ID written to disk; persists
+	// are skipped at or below it.
+	persistedChk int64
+
 	// Leader-progress watchdog (DESIGN.md §7). progressDeadline is when
 	// the current leader is suspected if no delivery lands first (zero =
 	// disarmed); suspects counts consecutive expiries, backing the timeout
@@ -329,6 +367,20 @@ type Metrics struct {
 	LeaderSuspects int64
 	// ViewChanges counts new views this replica entered.
 	ViewChanges int64
+	// WALAppended counts certified batches appended to the write-ahead
+	// log before delivery.
+	WALAppended int64
+	// WALReplayed counts batches replayed from the local WAL during a
+	// cold restart (disk recovery, not peer transfer).
+	WALReplayed int64
+	// WALErrors counts WAL append/sync failures; on the first one the log
+	// is dropped and the replica degrades to in-memory operation.
+	WALErrors int64
+	// ColdRestarts counts successful recoveries from the local data dir
+	// (checkpoint install and/or WAL suffix replay before joining).
+	ColdRestarts int64
+	// CheckpointsPersisted counts stable checkpoints written to disk.
+	CheckpointsPersisted int64
 }
 
 // DefaultPipelineDepth is how many batches a leader keeps in flight when
@@ -361,10 +413,14 @@ func NewNode(cfg NodeConfig) *Node {
 	if cfg.StateTransferTimeout <= 0 {
 		cfg.StateTransferTimeout = time.Second
 	}
+	engine := cfg.Engine
+	if engine == nil {
+		engine = store.NewSharded(cfg.StoreShards)
+	}
 	n := &Node{
 		cfg:              cfg,
 		self:             NodeID{Cluster: cfg.Cluster, Replica: cfg.Replica},
-		st:               store.NewSharded(cfg.StoreShards),
+		st:               engine,
 		readers:          newReadExecutor(cfg.ReadExecutors, 0),
 		trees:            make(map[int64]*merkle.Tree),
 		preparedReads:    make(keyRefs),
@@ -440,13 +496,21 @@ func (n *Node) IsLeader() bool { return n.consensus.IsLeader() }
 func (n *Node) CurrentView() uint64 { return n.consensus.CurrentView() }
 
 // Start registers the node with the network and launches its event loop.
+// With a DataDir it first recovers whatever local disk holds — the
+// persisted stable checkpoint plus the WAL suffix — before any live
+// message is processed (the event loop is not running yet, so recovery
+// touches loop-confined state safely).
 func (n *Node) Start() {
 	n.inbox = n.cfg.Net.Register(n.self)
 	n.lastFlush = time.Now()
+	n.openDurability()
 	if n.cfg.Recovering {
-		// A restarted replica holds only genesis: ask a peer for the
-		// latest stable checkpoint before (not instead of) processing
-		// live traffic — anything within the live window still applies.
+		// A restarted replica asks a peer for the latest stable
+		// checkpoint before (not instead of) processing live traffic —
+		// anything within the live window still applies. Disk recovery
+		// already advanced us past everything local; the peer sync only
+		// fills what local disk lacks (the unsynced tail, or batches
+		// committed while we were down).
 		n.startStateSync()
 	}
 	go n.run()
@@ -461,6 +525,10 @@ func (n *Node) Stop() {
 
 func (n *Node) run() {
 	defer close(n.done)
+	// Close the WAL after the loop exits: the final sync makes everything
+	// delivered before Stop durable (a graceful shutdown; crashes are
+	// simulated with the wal crash hooks, which drop the unsynced tail).
+	defer n.closeWAL()
 	// Drain the read executors before done closes (LIFO), so metrics and
 	// store state are quiescent once Stop returns.
 	defer n.readers.stop()
@@ -510,6 +578,7 @@ func (n *Node) dispatch(env transport.Envelope) {
 }
 
 func (n *Node) onTick() {
+	n.walMaybeSync()
 	n.expireParked()
 	n.pruneStoreStep()
 	n.maybeStateSync()

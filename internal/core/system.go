@@ -2,6 +2,10 @@ package core
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -40,6 +44,20 @@ type SystemConfig struct {
 	// ViewTimeout bounds each replica's wait for leader progress before
 	// it votes a PBFT view change (0 disables leader failover).
 	ViewTimeout time.Duration
+	// DataDir enables the durability layer (DESIGN.md §8): each replica
+	// gets <DataDir>/c<cluster>-r<replica> holding its WAL and persisted
+	// checkpoints, and rebuilds from it on restart before asking peers.
+	// Empty (the default) keeps the seed's in-memory-only semantics. The
+	// genesis timestamp is persisted at <DataDir>/genesis.ts so a rebuilt
+	// System reproduces the exact genesis header the on-disk chain hangs
+	// off.
+	DataDir string
+	// WALSyncEvery is the group-commit width (0 = wal.DefaultSyncEvery,
+	// wal.SyncNever disables fsync — the benchmarking mode).
+	WALSyncEvery int
+	// WALSyncInterval bounds the staleness of a partial commit group
+	// (0 = wal.DefaultSyncInterval).
+	WALSyncInterval time.Duration
 
 	// InitialData is the global initial key space; each cluster loads the
 	// subset the partitioner assigns to it.
@@ -121,7 +139,7 @@ func NewSystem(cfg SystemConfig) *System {
 
 	sys := &System{Cfg: cfg, Net: net, Ring: ring, Part: part,
 		nodes: make(map[NodeID]*Node), nodeCfgs: make(map[NodeID]NodeConfig)}
-	genesisTime := time.Now().UnixNano()
+	genesisTime := genesisTimestamp(cfg.DataDir)
 	for c := 0; c < cfg.Clusters; c++ {
 		header, cert := genesis(int32(c), cfg.Clusters, perCluster[c], genesisTime, keys, n)
 		for r := 0; r < n; r++ {
@@ -149,6 +167,9 @@ func NewSystem(cfg SystemConfig) *System {
 				CheckpointInterval:   cfg.CheckpointInterval,
 				StateTransferTimeout: cfg.StateTransferTimeout,
 				ViewTimeout:          cfg.ViewTimeout,
+				DataDir:              nodeDataDir(cfg.DataDir, int32(c), int32(r)),
+				WALSyncEvery:         cfg.WALSyncEvery,
+				WALSyncInterval:      cfg.WALSyncInterval,
 				InitialData:          perCluster[c],
 				GenesisHeader:        header,
 				GenesisCert:          cert,
@@ -191,6 +212,37 @@ func (s *System) RestartReplica(id NodeID) *Node {
 	s.nodes[id] = node
 	node.Start()
 	return node
+}
+
+// nodeDataDir derives one replica's data directory (empty in = empty
+// out: durability stays off without a DataDir).
+func nodeDataDir(root string, cluster, replica int32) string {
+	if root == "" {
+		return ""
+	}
+	return filepath.Join(root, fmt.Sprintf("c%d-r%d", cluster, replica))
+}
+
+// genesisTimestamp returns the genesis wall-clock. With a DataDir the
+// first system start persists it at <DataDir>/genesis.ts and every later
+// start reuses it: the genesis header must be bit-identical across cold
+// restarts or nothing persisted (which chains off that header's digest)
+// would verify.
+func genesisTimestamp(dataDir string) int64 {
+	now := time.Now().UnixNano()
+	if dataDir == "" {
+		return now
+	}
+	path := filepath.Join(dataDir, "genesis.ts")
+	if raw, err := os.ReadFile(path); err == nil {
+		if ts, err := strconv.ParseInt(strings.TrimSpace(string(raw)), 10, 64); err == nil {
+			return ts
+		}
+	}
+	if err := os.MkdirAll(dataDir, 0o755); err == nil {
+		os.WriteFile(path, []byte(strconv.FormatInt(now, 10)), 0o644)
+	}
+	return now
 }
 
 // genesis builds the certified genesis batch of one cluster: batch 0

@@ -1,0 +1,298 @@
+// The durability experiment: measure what the group-commit WAL costs
+// (fsync-on vs fsync-off vs the in-memory seed configuration) and what it
+// buys — a whole deployment killed and cold-restarted from disk alone,
+// with committed writes surviving and verified reads succeeding against
+// the recovered state. This is the fault-injection scenario the
+// durability layer (DESIGN.md §8) exists to serve.
+package harness
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"transedge/internal/client"
+	"transedge/internal/core"
+	"transedge/internal/wal"
+	"transedge/internal/workload"
+)
+
+// ColdRestartResult captures one kill-all/cold-restart run.
+type ColdRestartResult struct {
+	// Load is the read-write commit stats of the pre-crash load phase.
+	Load Stats
+	// Restart is how long the full deployment took to rebuild from disk
+	// (NewSystem through Start, which runs every replica's WAL replay and
+	// checkpoint install synchronously).
+	Restart time.Duration
+	// Recovered reports whether every replica's committed tip came back
+	// at or above its pre-crash tip.
+	Recovered bool
+	// VerifiedReads reports whether a post-restart verified read-only
+	// transaction returned the pre-crash committed marker values.
+	VerifiedReads bool
+	// ColdRestarts / WALReplayed / StateTransfers are summed across the
+	// restarted replicas: a disk-only recovery has ColdRestarts > 0,
+	// WALReplayed > 0 and StateTransfers == 0.
+	ColdRestarts   int64
+	WALReplayed    int64
+	StateTransfers int64
+	// CheckpointsPersisted is summed across the pre-crash replicas (the
+	// run guarantees at least two stable checkpoints hit disk).
+	CheckpointsPersisted int64
+	HeapMB               float64
+}
+
+// durabilitySystem builds the deployment for one durability phase; both
+// the pre-crash and the restarted system come through here so their
+// configurations are bit-identical (genesis determinism then follows from
+// the persisted genesis timestamp).
+func durabilitySystem(cfg Config, gen *workload.Generator) *core.System {
+	return core.NewSystem(core.SystemConfig{
+		Clusters:             cfg.Clusters,
+		F:                    cfg.F,
+		Seed:                 uint64(cfg.Seed),
+		BatchInterval:        cfg.BatchInterval,
+		BatchMaxSize:         cfg.BatchMaxSize,
+		PipelineDepth:        cfg.PipelineDepth,
+		StoreShards:          cfg.StoreShards,
+		ReadExecutors:        cfg.ReadExecutors,
+		CheckpointInterval:   cfg.CheckpointInterval,
+		StateTransferTimeout: cfg.StateTransferTimeout,
+		RetainBatches:        cfg.RetainBatches,
+		DataDir:              cfg.DataDir,
+		WALSyncEvery:         cfg.WALSyncEvery,
+		WALSyncInterval:      cfg.WALSyncInterval,
+		IntraLatency:         cfg.IntraLatency,
+		InterLatency:         cfg.InterLatency,
+		InitialData:          gen.InitialData(),
+	})
+}
+
+// RunColdRestart loads a durable deployment until at least two stable
+// checkpoints plus a WAL suffix are on disk, commits marker writes, stops
+// every replica at once, and rebuilds the whole deployment from the same
+// DataDir: no live peer holds the state, so recovery must come from disk.
+func RunColdRestart(cfg Config) ColdRestartResult {
+	cfg = cfg.withDefaults()
+	gen := workload.New(workload.Config{
+		Keys: cfg.Keys, ValueSize: cfg.ValueSize, Clusters: cfg.Clusters, Seed: cfg.Seed,
+	})
+	sys := durabilitySystem(cfg, gen)
+	sys.Start()
+
+	var (
+		col  collector
+		stop atomic.Bool
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < cfg.RWWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := client.New(client.Config{
+				ID: uint32(200 + w), Net: sys.Net, Ring: sys.Ring, Part: sys.Part,
+				Clusters: cfg.Clusters, Timeout: 30 * time.Second, Seed: cfg.Seed,
+			})
+			g := workload.New(workload.Config{
+				Keys: cfg.Keys, ValueSize: cfg.ValueSize, Clusters: cfg.Clusters,
+				Seed: cfg.Seed + int64(w)*17, ReadOps: asWorkloadOps(cfg.ReadOps),
+				WriteOps:      asWorkloadOps(cfg.WriteOps),
+				LocalFraction: cfg.LocalFraction,
+			})
+			for !stop.Load() {
+				runRW(c, g, &col)
+			}
+		}(w)
+	}
+
+	// Load until the tip is safely past two checkpoint intervals plus a
+	// suffix, so disk holds ≥2 stable checkpoints and WAL records above
+	// the last one.
+	var (
+		leader  = core.NodeID{Cluster: 0, Replica: 0}
+		target  = int64(3*cfg.CheckpointInterval) + 4
+		loadEnd = time.Now().Add(30 * cfg.Duration)
+		started = time.Now()
+	)
+	for time.Now().Before(loadEnd) && sys.Node(leader).Tip() < target {
+		time.Sleep(cfg.Duration / 50)
+	}
+	loadWindow := time.Since(started)
+
+	// Commit marker writes whose values the post-restart verified read
+	// must reproduce; they land in the WAL suffix above the last stable
+	// checkpoint, so recovery exercises checkpoint install AND replay.
+	mc := client.New(client.Config{
+		ID: 99, Net: sys.Net, Ring: sys.Ring, Part: sys.Part,
+		Clusters: cfg.Clusters, Timeout: 30 * time.Second, Seed: cfg.Seed,
+	})
+	markers := make(map[string][]byte)
+	txn := mc.Begin()
+	for i := 0; i < 8; i++ {
+		k := fmt.Sprintf("durable-marker-%03d", i)
+		v := []byte(fmt.Sprintf("survives-%03d", i))
+		markers[k] = v
+		txn.Write(k, v)
+	}
+	markersOK := txn.Commit() == nil
+
+	stop.Store(true)
+	wg.Wait()
+	res := ColdRestartResult{Load: col.stats(loadWindow)}
+
+	// Let every replica deliver through the marker batch before the kill,
+	// so each disk image contains the markers (Stop syncs and closes the
+	// WALs; the loss-window variants live in the crash-injection tests).
+	tips := make(map[core.NodeID]int64)
+	settle := time.Now().Add(10 * cfg.Duration)
+	for time.Now().Before(settle) {
+		lead := sys.Node(leader).Tip()
+		ok := true
+		for r := 0; r < sys.ReplicasPerCluster(); r++ {
+			id := core.NodeID{Cluster: 0, Replica: int32(r)}
+			if sys.Node(id).Tip() < lead {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			break
+		}
+		time.Sleep(cfg.Duration / 50)
+	}
+	for r := 0; r < sys.ReplicasPerCluster(); r++ {
+		id := core.NodeID{Cluster: 0, Replica: int32(r)}
+		tips[id] = sys.Node(id).Tip()
+	}
+	sys.Stop()
+	res.CheckpointsPersisted = sys.NodeMetrics(func(m *core.Metrics) int64 { return m.CheckpointsPersisted })
+
+	// Cold restart: a brand-new System over the same DataDir. Start runs
+	// each replica's disk recovery synchronously, so the elapsed time IS
+	// the cold-restart latency.
+	restartStart := time.Now()
+	sys2 := durabilitySystem(cfg, gen)
+	sys2.Start()
+	res.Restart = time.Since(restartStart)
+
+	res.Recovered = true
+	for id, tip := range tips {
+		if sys2.Node(id).Tip() < tip {
+			res.Recovered = false
+		}
+	}
+
+	// Verified read of the markers against the recovered state: Merkle
+	// proofs against the f+1-certified recovered root.
+	if markersOK {
+		rc := client.New(client.Config{
+			ID: 98, Net: sys2.Net, Ring: sys2.Ring, Part: sys2.Part,
+			Clusters: cfg.Clusters, Timeout: 30 * time.Second, Seed: cfg.Seed,
+		})
+		keys := make([]string, 0, len(markers))
+		for k := range markers {
+			keys = append(keys, k)
+		}
+		if ro, err := rc.ReadOnly(keys); err == nil {
+			res.VerifiedReads = true
+			for k, want := range markers {
+				if string(ro.Values[k]) != string(want) {
+					res.VerifiedReads = false
+				}
+			}
+		}
+	}
+
+	res.HeapMB = liveHeapMB()
+	sys2.Stop()
+	res.ColdRestarts = sys2.NodeMetrics(func(m *core.Metrics) int64 { return m.ColdRestarts })
+	res.WALReplayed = sys2.NodeMetrics(func(m *core.Metrics) int64 { return m.WALReplayed })
+	res.StateTransfers = sys2.NodeMetrics(func(m *core.Metrics) int64 { return m.StateTransfers })
+	return res
+}
+
+// durabilityBase is the shared shape of every durability point: one
+// cluster under sustained local write load with checkpoints every 16
+// batches, so runs are dominated by the commit path the WAL sits on.
+func durabilityBase(s Scale) Config {
+	cfg := s.base()
+	cfg.Protocol = TransEdge
+	cfg.Clusters = 1
+	cfg.ROWorkers = 0
+	cfg.RWWorkers = s.RWWorkers * 2
+	cfg.LocalFraction = 1.0
+	cfg.ReadOps = NoOps
+	cfg.WriteOps = 3
+	cfg.CheckpointInterval = 16
+	cfg.StateTransferTimeout = 10 * time.Millisecond
+	cfg.RetainBatches = 32
+	cfg.IntraLatency = 2 * s.LatencyUnit
+	cfg.InterLatency = 2 * s.LatencyUnit
+	return cfg
+}
+
+// Durability — the harness experiment behind BENCH_durability.json. Rows
+// record commit throughput with the WAL fsyncing (the shipped default),
+// with fsync disabled (group commit still buffers, the disk write
+// happens, only the flush barrier is skipped), and with durability off
+// entirely (the seed's in-memory configuration); then a kill-all
+// cold-restart row records how long a 3f+1 cluster takes to rebuild from
+// its checkpoints and WAL suffix, with -1 signalling a failed recovery
+// or a failed post-restart verified read.
+func Durability(s Scale) []Point {
+	var out []Point
+	var cleanup []string
+	defer func() {
+		for _, d := range cleanup {
+			os.RemoveAll(d)
+		}
+	}()
+	tmp := func(tag string) string {
+		d, err := os.MkdirTemp("", "transedge-durability-"+tag+"-")
+		if err != nil {
+			return ""
+		}
+		cleanup = append(cleanup, d)
+		return d
+	}
+
+	modes := []struct {
+		name      string
+		durable   bool
+		syncEvery int
+	}{
+		{"fsync-on", true, 0}, // system default group-commit policy
+		{"fsync-off", true, wal.SyncNever},
+		{"no-wal", false, 0}, // the seed's in-memory configuration
+	}
+	for _, m := range modes {
+		cfg := durabilityBase(s)
+		if m.durable {
+			cfg.DataDir = tmp(m.name)
+		}
+		cfg.WALSyncEvery = m.syncEvery
+		r := Run(cfg)
+		out = append(out, withRuntime(Point{
+			Experiment: "durability", Series: "TransEdge", X: m.name,
+			ThroughputTPS: r.RW.Throughput, LatencyMS: ms(r.RW.Mean),
+			P99MS: ms(r.RW.P99), AbortPct: r.RW.AbortPct(),
+		}, r))
+	}
+
+	cfg := durabilityBase(s)
+	cfg.DataDir = tmp("restart")
+	cr := RunColdRestart(cfg)
+	restartMS := ms(cr.Restart)
+	if !cr.Recovered || !cr.VerifiedReads || cr.ColdRestarts == 0 {
+		restartMS = -1 // sentinel: recovery or verification failed
+	}
+	rt := Result{HeapMB: cr.HeapMB}
+	out = append(out, withRuntime(Point{
+		Experiment: "durability", Series: "TransEdge", X: "cold-restart",
+		LatencyMS: restartMS, ThroughputTPS: cr.Load.Throughput,
+	}, rt))
+	return out
+}

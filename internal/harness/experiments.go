@@ -596,6 +596,7 @@ var Experiments = map[string]func(Scale) []Point{
 	"readscale":  ReadScale,
 	"recovery":   Recovery,
 	"viewchange": ViewChange,
+	"durability": Durability,
 }
 
 // Order lists experiments in paper order for -experiment all.
@@ -603,4 +604,5 @@ var Order = []string{
 	"fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 	"fig10", "fig12", "fig13", "fig14", "fig15", "table1",
 	"pipeline", "hotpath", "readscale", "recovery", "viewchange",
+	"durability",
 }

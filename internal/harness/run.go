@@ -69,6 +69,14 @@ type Config struct {
 	// ViewTimeout enables PBFT leader failover (0 = disabled, the system
 	// default; the viewchange experiment sets it).
 	ViewTimeout time.Duration
+	// DataDir enables durability: replicas write-ahead-log certified
+	// batches and persist stable checkpoints under it (empty = in-memory,
+	// the system default; the durability experiment sets it).
+	DataDir string
+	// WALSyncEvery / WALSyncInterval shape the WAL's group-commit fsync
+	// policy (0 = system defaults; wal.SyncNever disables fsync).
+	WALSyncEvery    int
+	WALSyncInterval time.Duration
 
 	// Worker counts (the paper uses 2 clients x 10 threads).
 	ROWorkers int
@@ -322,6 +330,9 @@ func runTransEdgeLike(cfg Config) Result {
 		StateTransferTimeout: cfg.StateTransferTimeout,
 		RetainBatches:        cfg.RetainBatches,
 		ViewTimeout:          cfg.ViewTimeout,
+		DataDir:              cfg.DataDir,
+		WALSyncEvery:         cfg.WALSyncEvery,
+		WALSyncInterval:      cfg.WALSyncInterval,
 		IntraLatency:         cfg.IntraLatency,
 		InterLatency:         cfg.InterLatency,
 		InitialData:          gen.InitialData(),

@@ -1,0 +1,57 @@
+package store
+
+// Engine is the storage surface the replica core depends on. The sharded
+// in-memory MVCC Store is the default implementation; alternate backends
+// (an LSM, an mmap'd file store) slot in behind the same interface — the
+// durability layer (WAL + disk checkpoints) sits above Engine and works
+// with any of them, because crash recovery rebuilds engine content from
+// the verified checkpoint snapshot plus the replayed WAL suffix rather
+// than trusting backend-private files.
+//
+// Contract (see the conformance suite in store/storetest):
+//
+//   - ApplyAll(batch, writes) installs one delivered batch's write set
+//     atomically per shard and publishes batch as the stable watermark;
+//     batch IDs are strictly increasing across calls.
+//   - Reads at or below StableBatch() are torn-free snapshots.
+//   - ExportAsOf/ImportAsOf round-trip the visible snapshot at any batch
+//     boundary, including writer provenance.
+//   - Prune(keepFrom) may drop versions strictly below keepFrom but must
+//     keep each key's newest version at or below it (the snapshot at
+//     keepFrom stays servable).
+type Engine interface {
+	// Load installs the genesis data as batch 0 writes.
+	Load(kv map[string][]byte)
+	// ApplyAll applies one batch's write set in a single sharded pass and
+	// advances the stable watermark to batch (also for empty write sets).
+	ApplyAll(batch int64, writes map[string][]byte)
+	// Get returns the newest version of key.
+	Get(key string) (value []byte, writer int64, ok bool)
+	// GetAsOf returns the newest version of key visible at asOf.
+	GetAsOf(key string, asOf int64) (value []byte, writer int64, ok bool)
+	// MultiGetAsOf resolves a snapshot read of many keys in one pass.
+	MultiGetAsOf(keys []string, asOf int64) []Versioned
+	// LastWriter returns the newest batch that wrote key (-1 if never).
+	LastWriter(key string) int64
+	// LastWriters batches LastWriter over many keys.
+	LastWriters(keys []string) []int64
+	// StableBatch is the newest batch whose writes are fully visible.
+	StableBatch() int64
+	// ExportAsOf captures the snapshot at asOf, key-sorted.
+	ExportAsOf(asOf int64) []KV
+	// ImportAsOf replaces all content with a snapshot captured at asOf.
+	ImportAsOf(asOf int64, entries []KV)
+	// Keys returns the number of live keys.
+	Keys() int
+	// VersionCount returns how many versions of key are retained.
+	VersionCount(key string) int
+	// Prune drops versions below keepFrom across all shards.
+	Prune(keepFrom int64)
+	// PruneShard prunes one shard; i ranges over [0, ShardCount()).
+	PruneShard(i int, keepFrom int64)
+	// ShardCount reports the shard count for incremental pruning.
+	ShardCount() int
+}
+
+// Store implements Engine.
+var _ Engine = (*Store)(nil)

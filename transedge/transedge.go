@@ -86,6 +86,20 @@ type Options struct {
 	// replica (round-robin) as leader. Zero disables leader failover: a
 	// crashed leader then stalls its cluster until restarted.
 	ViewTimeout time.Duration
+	// DataDir enables durability: each replica write-ahead-logs certified
+	// batches and persists stable checkpoints under its own subdirectory,
+	// and a restarted deployment (same Options, same DataDir) rebuilds
+	// committed state from disk before falling back to peers. Empty (the
+	// default) keeps everything in memory — a power cycle of 2f+1
+	// replicas then loses the database.
+	DataDir string
+	// WALSyncEvery is the group-commit width: one fsync covers up to this
+	// many committed batches (default 8; wal.SyncNever, -1, disables
+	// fsync for benchmarking).
+	WALSyncEvery int
+	// WALSyncInterval bounds how long a partial commit group may stay
+	// unsynced (default 2ms).
+	WALSyncInterval time.Duration
 
 	// IntraClusterLatency and InterClusterLatency shape the simulated
 	// network (defaults: zero).
@@ -140,6 +154,9 @@ func Start(opts Options) (*System, error) {
 		CheckpointInterval:   opts.CheckpointInterval,
 		StateTransferTimeout: opts.StateTransferTimeout,
 		ViewTimeout:          opts.ViewTimeout,
+		DataDir:              opts.DataDir,
+		WALSyncEvery:         opts.WALSyncEvery,
+		WALSyncInterval:      opts.WALSyncInterval,
 		IntraLatency:         opts.IntraClusterLatency,
 		InterLatency:         opts.InterClusterLatency,
 		FreshnessWindow:      opts.FreshnessWindow,
@@ -154,6 +171,18 @@ func (s *System) Stop() { s.sys.Stop() }
 
 // Replicas returns the number of replicas per cluster (3F+1).
 func (s *System) Replicas() int { return s.sys.ReplicasPerCluster() }
+
+// DurabilityStats summarizes the durability layer's activity summed over
+// all replicas: cold restarts recovered from the local data dir, batches
+// appended to and replayed from the WAL, and stable checkpoints written
+// to disk. All zeros when DataDir is unset.
+func (s *System) DurabilityStats() (coldRestarts, walAppended, walReplayed, checkpoints int64) {
+	coldRestarts = s.sys.NodeMetrics(func(m *core.Metrics) int64 { return m.ColdRestarts })
+	walAppended = s.sys.NodeMetrics(func(m *core.Metrics) int64 { return m.WALAppended })
+	walReplayed = s.sys.NodeMetrics(func(m *core.Metrics) int64 { return m.WALReplayed })
+	checkpoints = s.sys.NodeMetrics(func(m *core.Metrics) int64 { return m.CheckpointsPersisted })
+	return
+}
 
 // Clusters returns the number of partitions.
 func (s *System) Clusters() int { return s.sys.Cfg.Clusters }
