@@ -517,6 +517,30 @@ func BenchmarkDurability(b *testing.B) {
 	}
 }
 
+// BenchmarkEngines — the engines experiment: both storage backends
+// (sharded in-memory MVCC vs LSM memtable+runs) under the write-heavy
+// pipeline workload and the 90%-read-only readscale workload. The
+// reproduction target is that the sharded default is unregressed and
+// the LSM backend stays in the same ballpark on both shapes.
+func BenchmarkEngines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := harness.Engines(benchScale)
+		for _, series := range []string{"sharded", "lsm"} {
+			wr := pick(pts, series, "pipeline")
+			ro := pick(pts, series, "readscale-ro90")
+			if wr == nil || ro == nil {
+				b.Fatalf("missing %s rows", series)
+			}
+			if wr.ThroughputTPS == 0 || ro.ThroughputTPS == 0 {
+				b.Fatalf("engine %s committed nothing", series)
+			}
+			b.ReportMetric(wr.ThroughputTPS, "tps_write_"+series)
+			b.ReportMetric(ro.ThroughputTPS, "tps_ro_"+series)
+			b.ReportMetric(ro.HeapMB, "heapmb_ro_"+series)
+		}
+	}
+}
+
 // BenchmarkTable1ReadOnlyInterference — read-write aborts caused by
 // read-only transactions: ~0 for TransEdge, growing with cluster count
 // for Augustus.

@@ -23,6 +23,8 @@ import (
 	"time"
 
 	"transedge/internal/harness"
+	"transedge/internal/store"
+	_ "transedge/internal/store/lsm" // registers the "lsm" engine for -engine
 )
 
 func main() {
@@ -32,9 +34,23 @@ func main() {
 		duration   = flag.Duration("duration", 0, "override measurement window per point")
 		keys       = flag.Int("keys", 0, "override keyspace size")
 		jsonPath   = flag.String("json", "", "also write all measured points as JSON to this file")
+		engine     = flag.String("engine", "", "storage backend per replica (default: sharded); see internal/store engine registry")
 		list       = flag.Bool("list", false, "list experiment IDs and exit")
 	)
 	flag.Parse()
+
+	if *engine != "" {
+		// Fail fast with the valid names instead of silently measuring
+		// the default backend under a typo'd label.
+		probe, err := store.NewEngine(*engine, 1)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if c, ok := probe.(interface{ Close() }); ok {
+			c.Close()
+		}
+	}
 
 	if *list {
 		ids := make([]string, 0, len(harness.Experiments))
@@ -56,6 +72,7 @@ func main() {
 	if *keys > 0 {
 		scale.Keys = *keys
 	}
+	scale.Engine = *engine
 
 	ids := []string{*experiment}
 	if *experiment == "all" {

@@ -23,12 +23,24 @@ import (
 
 	"transedge/internal/client"
 	"transedge/internal/core"
+	"transedge/internal/store"
 	"transedge/internal/transport"
 )
 
 func main() {
 	datadir := flag.String("datadir", "", "persist WAL+checkpoints here and demo a cold restart")
+	engine := flag.String("engine", "", "storage backend per replica (default: sharded)")
 	flag.Parse()
+
+	if *engine != "" {
+		probe, err := store.NewEngine(*engine, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if c, ok := probe.(interface{ Close() }); ok {
+			c.Close()
+		}
+	}
 
 	data := map[string][]byte{}
 	for i := 0; i < 100; i++ {
@@ -39,6 +51,7 @@ func main() {
 		BatchInterval: time.Millisecond,
 		InitialData:   data,
 		DataDir:       *datadir,
+		Engine:        *engine,
 	}
 	sys := core.NewSystem(cfg)
 	sys.Start()

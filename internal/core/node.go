@@ -11,6 +11,7 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,6 +21,7 @@ import (
 	"transedge/internal/merkle"
 	"transedge/internal/protocol"
 	"transedge/internal/store"
+	_ "transedge/internal/store/lsm" // registers the "lsm" engine
 	"transedge/internal/transport"
 	"transedge/internal/wal"
 )
@@ -97,10 +99,17 @@ type NodeConfig struct {
 	// waiting to observe that it is behind.
 	Recovering bool
 
-	// Engine overrides the storage backend (nil = the sharded in-memory
-	// MVCC store with StoreShards shards). Any store.Engine works; the
-	// durability layer sits above it.
+	// Engine overrides the storage backend with a caller-built instance
+	// (nil = build EngineName via the engine registry). Any store.Engine
+	// works; the durability layer sits above it. The node does not
+	// manage an injected engine's lifecycle — the caller closes it.
 	Engine store.Engine
+	// EngineName selects a registered storage backend by name when
+	// Engine is nil ("" = store.DefaultEngine, the sharded in-memory
+	// MVCC store with StoreShards shards). Unknown names panic in
+	// NewNode; public entry points (transedge.Start, the -engine flags)
+	// validate first and surface the error listing valid backends.
+	EngineName string
 	// DataDir enables the durability layer: certified batches are
 	// WAL-appended before delivery applies them, stable checkpoints are
 	// persisted atomically, and a restarted node cold-starts from this
@@ -203,8 +212,12 @@ type Node struct {
 	// peers lists the other replicas of this cluster, for broadcasts.
 	peers []NodeID
 
-	st      store.Engine
-	curTree *merkle.Tree
+	st store.Engine
+	// ownsEngine marks engines the node built itself (via the registry)
+	// and must therefore shut down when its loop exits; injected
+	// engines belong to the caller.
+	ownsEngine bool
+	curTree    *merkle.Tree
 	trees   map[int64]*merkle.Tree
 	// log is the retained window of committed batches: everything below
 	// the latest stable checkpoint is truncated (entry 0 starts as
@@ -414,13 +427,22 @@ func NewNode(cfg NodeConfig) *Node {
 		cfg.StateTransferTimeout = time.Second
 	}
 	engine := cfg.Engine
+	ownsEngine := false
 	if engine == nil {
-		engine = store.NewSharded(cfg.StoreShards)
+		var err error
+		engine, err = store.NewEngine(cfg.EngineName, cfg.StoreShards)
+		if err != nil {
+			// Public entry points validate the name before building
+			// nodes; reaching here is a programming error.
+			panic(fmt.Sprintf("core: %v", err))
+		}
+		ownsEngine = true
 	}
 	n := &Node{
 		cfg:              cfg,
 		self:             NodeID{Cluster: cfg.Cluster, Replica: cfg.Replica},
 		st:               engine,
+		ownsEngine:       ownsEngine,
 		readers:          newReadExecutor(cfg.ReadExecutors, 0),
 		trees:            make(map[int64]*merkle.Tree),
 		preparedReads:    make(keyRefs),
@@ -525,6 +547,15 @@ func (n *Node) Stop() {
 
 func (n *Node) run() {
 	defer close(n.done)
+	// Engines with background machinery (the LSM compactor) stop with
+	// the node — but only if the node built the engine; injected ones
+	// are the caller's to close. Runs after the read executors drain
+	// (LIFO), so no read is in flight when the engine shuts down.
+	defer func() {
+		if c, ok := n.st.(interface{ Close() }); ok && n.ownsEngine {
+			c.Close()
+		}
+	}()
 	// Close the WAL after the loop exits: the final sync makes everything
 	// delivered before Stop durable (a graceful shutdown; crashes are
 	// simulated with the wal crash hooks, which drop the unsynced tail).

@@ -33,7 +33,12 @@ type SystemConfig struct {
 	ROParkTimeout   time.Duration
 	RetainBatches   int
 	StoreShards     int // versioned-store shard count (0 = store.DefaultShards)
-	ReadExecutors   int // off-loop read pool size per replica (0 = GOMAXPROCS)
+	// Engine names every replica's storage backend, resolved through
+	// the store engine registry ("" = store.DefaultEngine). Validate
+	// with store.NewEngine before building a system: NewNode panics on
+	// unknown names.
+	Engine        string
+	ReadExecutors int // off-loop read pool size per replica (0 = GOMAXPROCS)
 	// CheckpointInterval spaces the stable checkpoints that bound every
 	// replica's log window and anchor crash recovery (0 =
 	// DefaultCheckpointInterval, negative disables).
@@ -163,6 +168,7 @@ func NewSystem(cfg SystemConfig) *System {
 				ROParkTimeout:        cfg.ROParkTimeout,
 				RetainBatches:        cfg.RetainBatches,
 				StoreShards:          cfg.StoreShards,
+				EngineName:           cfg.Engine,
 				ReadExecutors:        cfg.ReadExecutors,
 				CheckpointInterval:   cfg.CheckpointInterval,
 				StateTransferTimeout: cfg.StateTransferTimeout,

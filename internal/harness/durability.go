@@ -58,6 +58,7 @@ func durabilitySystem(cfg Config, gen *workload.Generator) *core.System {
 		BatchMaxSize:         cfg.BatchMaxSize,
 		PipelineDepth:        cfg.PipelineDepth,
 		StoreShards:          cfg.StoreShards,
+		Engine:               cfg.Engine,
 		ReadExecutors:        cfg.ReadExecutors,
 		CheckpointInterval:   cfg.CheckpointInterval,
 		StateTransferTimeout: cfg.StateTransferTimeout,

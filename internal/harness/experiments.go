@@ -23,6 +23,10 @@ type Scale struct {
 	BatchSizes  []int // which of the paper's batch sizes to sweep
 	ScanSizes   []int // Fig. 7 scan lengths
 	LatenciesMS []int // Fig. 12/13 injected latencies, in paper ms
+	// Engine pins every experiment's storage backend ("" = sharded
+	// default; the -engine flag of cmd/transedge-bench sets it). The
+	// engines experiment ignores it and sweeps backends itself.
+	Engine string
 }
 
 // Quick is the CI-friendly scale: ~50x shorter windows, 20x smaller
@@ -94,6 +98,7 @@ func (s Scale) base() Config {
 		RWWorkers: s.RWWorkers,
 		Duration:  s.Duration,
 		Seed:      42,
+		Engine:    s.Engine,
 		// Baseline edge topology: ~1 paper-ms within a cluster, ~10
 		// paper-ms between neighboring edge clusters. Latency sweeps add
 		// on top of this via InterLatency overrides.
@@ -576,6 +581,65 @@ func ReadScale(s Scale) []Point {
 	return out
 }
 
+// Engines compares the registered storage backends under two of the
+// paper workloads: the write-heavy pipeline shape (consensus-paced
+// commits churning versions) and the 90%-read-only readscale shape
+// (snapshot fan-outs dominating). One row per backend x workload, with
+// HeapMB recorded so the engines' memory shapes — flat maps vs
+// memtable+runs — are visible next to their throughput.
+func Engines(s Scale) []Point {
+	var out []Point
+	for _, engine := range []string{"sharded", "lsm"} {
+		// Write-heavy: the pipeline experiment's depth-4 point.
+		cfg := s.base()
+		cfg.Protocol = TransEdge
+		cfg.Engine = engine
+		cfg.Clusters = 2
+		cfg.ROWorkers = 0
+		cfg.RWWorkers = s.RWWorkers * 4
+		cfg.LocalFraction = 1.0
+		cfg.ReadOps = NoOps
+		cfg.WriteOps = 3
+		cfg.IntraLatency = 80 * s.LatencyUnit
+		cfg.InterLatency = 4 * s.LatencyUnit
+		cfg.BatchInterval = 20 * s.LatencyUnit
+		cfg.Duration = s.Duration * 2
+		runtime.GC()
+		r := Run(cfg)
+		out = append(out, withRuntime(Point{
+			Experiment: "engines", Series: engine, X: "pipeline",
+			ThroughputTPS: r.RW.Throughput, LatencyMS: ms(r.RW.Mean),
+			P99MS: ms(r.RW.P99), AbortPct: r.RW.AbortPct(),
+		}, r))
+
+		// Read-heavy: the readscale experiment's 90% read-only mix.
+		cfg = s.base()
+		cfg.Protocol = TransEdge
+		cfg.Engine = engine
+		cfg.Clusters = 1
+		cfg.StoreShards = 16
+		cfg.ReadExecutors = 16
+		cfg.ROWorkers = 0
+		cfg.RWWorkers = 0
+		cfg.MixedWorkers = s.ROWorkers * 6
+		cfg.ROFraction = 0.9
+		cfg.ROPerCluster = 8
+		cfg.ReadOps = NoOps
+		cfg.WriteOps = 3
+		cfg.IntraLatency = 2 * s.LatencyUnit
+		cfg.InterLatency = 2 * s.LatencyUnit
+		cfg.Duration = s.Duration * 2
+		runtime.GC()
+		r = Run(cfg)
+		out = append(out, withRuntime(Point{
+			Experiment: "engines", Series: engine, X: "readscale-ro90",
+			ThroughputTPS: r.RO.Throughput, LatencyMS: ms(r.RO.Mean),
+			P99MS: ms(r.RO.P99), AbortPct: r.RW.AbortPct(),
+		}, r))
+	}
+	return out
+}
+
 // Experiments maps experiment IDs to their runners, for the CLI.
 var Experiments = map[string]func(Scale) []Point{
 	"fig4":      Fig4,
@@ -597,6 +661,7 @@ var Experiments = map[string]func(Scale) []Point{
 	"recovery":   Recovery,
 	"viewchange": ViewChange,
 	"durability": Durability,
+	"engines":    Engines,
 }
 
 // Order lists experiments in paper order for -experiment all.
@@ -604,5 +669,5 @@ var Order = []string{
 	"fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 	"fig10", "fig12", "fig13", "fig14", "fig15", "table1",
 	"pipeline", "hotpath", "readscale", "recovery", "viewchange",
-	"durability",
+	"durability", "engines",
 }

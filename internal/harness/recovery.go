@@ -52,6 +52,7 @@ func RunRecovery(cfg Config) RecoveryResult {
 		BatchMaxSize:         cfg.BatchMaxSize,
 		PipelineDepth:        cfg.PipelineDepth,
 		StoreShards:          cfg.StoreShards,
+		Engine:               cfg.Engine,
 		ReadExecutors:        cfg.ReadExecutors,
 		CheckpointInterval:   cfg.CheckpointInterval,
 		StateTransferTimeout: cfg.StateTransferTimeout,

@@ -57,6 +57,10 @@ type Config struct {
 	// sweeps them.
 	StoreShards   int
 	ReadExecutors int
+	// Engine names the storage backend per replica ("" = the sharded
+	// default); the engines experiment compares backends under the
+	// paper workloads.
+	Engine string
 
 	// CheckpointInterval / StateTransferTimeout shape the stable-
 	// checkpoint subsystem (0 = system defaults; the recovery experiment
@@ -325,6 +329,7 @@ func runTransEdgeLike(cfg Config) Result {
 		BatchMaxSize:         cfg.BatchMaxSize,
 		PipelineDepth:        cfg.PipelineDepth,
 		StoreShards:          cfg.StoreShards,
+		Engine:               cfg.Engine,
 		ReadExecutors:        cfg.ReadExecutors,
 		CheckpointInterval:   cfg.CheckpointInterval,
 		StateTransferTimeout: cfg.StateTransferTimeout,

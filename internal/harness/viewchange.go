@@ -53,6 +53,7 @@ func RunViewChange(cfg Config) ViewChangeResult {
 		BatchMaxSize:         cfg.BatchMaxSize,
 		PipelineDepth:        cfg.PipelineDepth,
 		StoreShards:          cfg.StoreShards,
+		Engine:               cfg.Engine,
 		ReadExecutors:        cfg.ReadExecutors,
 		CheckpointInterval:   cfg.CheckpointInterval,
 		StateTransferTimeout: cfg.StateTransferTimeout,

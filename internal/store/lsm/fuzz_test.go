@@ -1,0 +1,137 @@
+package lsm_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"transedge/internal/store"
+	"transedge/internal/store/lsm"
+)
+
+// FuzzEngineDifferential decodes the fuzzer's byte stream into an op
+// sequence — applies, point reads, snapshot reads, exports, prunes, and
+// a cross-engine snapshot import — and runs it against the sharded
+// store and the LSM engine side by side, requiring identical Get /
+// GetAsOf / ExportAsOf / LastWriters results after every op. The LSM
+// runs with a tiny memtable and an eager compactor so even short inputs
+// cross the freeze and merge paths; reads stay within the pruned
+// watermark window, where results must be deterministic regardless of
+// where a backend's compaction happens to be. This is the conformance
+// suite's randomized test with the fuzzer, not a fixed seed, choosing
+// the schedule.
+func FuzzEngineDifferential(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0xff, 1, 0, 2, 7, 3, 0, 4, 9})
+	f.Add([]byte{0, 0x0f, 0, 0xf0, 5, 3, 2, 1, 0, 0xaa, 6, 0, 4, 0})
+	f.Add(bytes.Repeat([]byte{0, 0x55, 2, 9, 5, 1}, 24))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a := store.NewSharded(4) // the reference
+		b := lsm.NewWithOptions(lsm.Options{MemtableBytes: 64, CompactRuns: 2})
+		defer b.Close()
+
+		const keySpace = 16
+		keyAt := func(i byte) string { return fmt.Sprintf("k%02d", int(i)%keySpace) }
+		allKeys := make([]string, keySpace)
+		for i := range allKeys {
+			allKeys[i] = keyAt(byte(i))
+		}
+
+		var nextBatch, floor int64
+		// clamp maps an arbitrary byte to a snapshot inside the window
+		// both engines must serve deterministically: [floor, stable].
+		clamp := func(arg byte) int64 {
+			stable := a.StableBatch()
+			if stable <= floor {
+				return floor
+			}
+			return floor + int64(arg)%(stable-floor+1)
+		}
+		compareAt := func(asOf int64) {
+			t.Helper()
+			for _, k := range allKeys {
+				av, aw, aok := a.GetAsOf(k, asOf)
+				bv, bw, bok := b.GetAsOf(k, asOf)
+				if aok != bok || aw != bw || !bytes.Equal(av, bv) {
+					t.Fatalf("GetAsOf(%q, %d): sharded (%q, %d, %v) vs lsm (%q, %d, %v)",
+						k, asOf, av, aw, aok, bv, bw, bok)
+				}
+			}
+		}
+
+		for i := 0; i+1 < len(data); i += 2 {
+			op, arg := data[i], data[i+1]
+			switch op % 7 {
+			case 0: // apply a batch with 1-4 writes derived from arg
+				nextBatch++
+				writes := map[string][]byte{}
+				for n := byte(0); n <= arg%4; n++ {
+					k := keyAt(arg + 5*n)
+					writes[k] = []byte(fmt.Sprintf("v%d-%s", nextBatch, k))
+				}
+				a.ApplyAll(nextBatch, writes)
+				b.ApplyAll(nextBatch, writes)
+			case 1: // point read
+				k := keyAt(arg)
+				av, aw, aok := a.Get(k)
+				bv, bw, bok := b.Get(k)
+				if aok != bok || aw != bw || !bytes.Equal(av, bv) {
+					t.Fatalf("Get(%q): sharded (%q, %d, %v) vs lsm (%q, %d, %v)",
+						k, av, aw, aok, bv, bw, bok)
+				}
+			case 2: // snapshot read sweep inside the servable window
+				compareAt(clamp(arg))
+			case 3: // last-writer provenance
+				aw, bw := a.LastWriters(allKeys), b.LastWriters(allKeys)
+				for j := range allKeys {
+					if aw[j] != bw[j] {
+						t.Fatalf("LastWriters[%q] = %d vs %d", allKeys[j], aw[j], bw[j])
+					}
+				}
+			case 4: // full snapshot export
+				asOf := clamp(arg)
+				ae, be := a.ExportAsOf(asOf), b.ExportAsOf(asOf)
+				if len(ae) != len(be) {
+					t.Fatalf("ExportAsOf(%d): %d vs %d entries", asOf, len(ae), len(be))
+				}
+				for j := range ae {
+					if ae[j].Key != be[j].Key || ae[j].Writer != be[j].Writer ||
+						!bytes.Equal(ae[j].Value, be[j].Value) {
+						t.Fatalf("ExportAsOf(%d)[%d]: %+v vs %+v", asOf, j, ae[j], be[j])
+					}
+				}
+			case 5: // advance the prune floor on both sides
+				next := floor + 1 + int64(arg%5)
+				if stable := a.StableBatch(); next > stable {
+					next = stable
+				}
+				if next > floor {
+					floor = next
+					a.Prune(floor)
+					b.Prune(floor)
+				}
+			case 6: // cross-engine state transfer: sharded's snapshot into both
+				stable := a.StableBatch()
+				if stable < 0 {
+					continue
+				}
+				snap := a.ExportAsOf(stable)
+				a.ImportAsOf(stable, snap)
+				b.ImportAsOf(stable, snap)
+				floor = stable // history collapsed to the boundary
+			}
+		}
+
+		// Final sweep: the full servable window must agree.
+		for asOf := floor; asOf <= a.StableBatch(); asOf++ {
+			compareAt(asOf)
+		}
+		if a.StableBatch() != b.StableBatch() {
+			t.Fatalf("StableBatch: %d vs %d", a.StableBatch(), b.StableBatch())
+		}
+		if a.Keys() != b.Keys() {
+			t.Fatalf("Keys: %d vs %d", a.Keys(), b.Keys())
+		}
+	})
+}

@@ -1,0 +1,506 @@
+// Package lsm is a log-structured store.Engine: writes land in a
+// mutable memtable of versioned values, which freezes into immutable
+// key-sorted runs once it crosses a size threshold; a background
+// compactor k-way-merges the frozen runs and drops versions below the
+// prune floor. Point and snapshot lookups search the memtable first,
+// then the runs newest-first (each run carries a key-range filter), so
+// the per-key version invariant — everything in the memtable is newer
+// than everything in any run, and everything in run i is newer than
+// everything in run i+1 — makes the first hit at or below the snapshot
+// the correct answer.
+//
+// Concurrency model: one RWMutex guards the memtable and the runs
+// *list*; the runs themselves are immutable after construction, so the
+// compactor merges outside the lock from a snapshot of the list and
+// installs the result only if no prune rewrote a source run meanwhile
+// (identity check; freezes only prepend and never invalidate a merge).
+// StableBatch is an atomically published watermark advanced after the
+// batch's writes are installed, exactly like the sharded store, so
+// snapshot reads at or below it are torn-free.
+//
+// The engine passes the same storetest conformance suite as the sharded
+// store and is differential-fuzzed against it (FuzzEngineDifferential);
+// that equivalence, not this comment, is what lets the replica core
+// trust it (DESIGN.md §9).
+package lsm
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"transedge/internal/store"
+)
+
+func init() {
+	store.RegisterEngine("lsm", func(shards int) store.Engine { return New() })
+}
+
+// DefaultMemtableBytes is the default freeze threshold: small enough
+// that long runs exercise the run/compaction machinery, large enough
+// that a batch's write set never spans a freeze boundary mid-apply
+// (freezes happen between ApplyAll calls' effects, never inside one).
+const DefaultMemtableBytes = 1 << 20
+
+// DefaultCompactRuns is how many frozen runs accumulate before the
+// background compactor merges them into one.
+const DefaultCompactRuns = 4
+
+// pruneStripes is ShardCount for the Engine contract's incremental
+// pruning: PruneShard(i) prunes the keys hashing to stripe i. A power
+// of two, like the sharded store's shard count.
+const pruneStripes = 4
+
+// version is one historical value of a key, identical in shape to the
+// sharded store's.
+type version struct {
+	batch int64
+	value []byte
+}
+
+// Options tunes an LSM instance. The zero value selects the defaults;
+// tests shrink both knobs so small workloads still freeze and compact.
+type Options struct {
+	// MemtableBytes freezes the memtable into a run once its
+	// approximate footprint (keys + values + per-version overhead)
+	// reaches this many bytes (0 = DefaultMemtableBytes).
+	MemtableBytes int
+	// CompactRuns triggers a background merge once at least this many
+	// frozen runs exist (0 = DefaultCompactRuns).
+	CompactRuns int
+}
+
+// LSM implements store.Engine.
+type LSM struct {
+	opts Options
+
+	// mu guards mem, memBytes, runs (the list — runs are immutable),
+	// and stripeFloor.
+	mu       sync.RWMutex
+	mem      map[string][]version
+	memBytes int
+	// runs is newest-first: runs[0] is the most recent freeze (or the
+	// most recent compaction output if nothing froze since).
+	runs []*run
+	// stripeFloor[i] is the keepFrom every version of stripe i has been
+	// pruned to; the compactor prunes at the minimum across stripes.
+	stripeFloor [pruneStripes]int64
+
+	stable atomic.Int64
+
+	// Compactor lifecycle: compactC is a level-triggered signal
+	// (buffered, non-blocking sends), stop/done bound the goroutine.
+	compactC  chan struct{}
+	stop      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+
+	freezes     atomic.Int64
+	compactions atomic.Int64
+}
+
+var _ store.Engine = (*LSM)(nil)
+
+// New returns an LSM engine with default options and starts its
+// compactor goroutine. Callers that own the engine's lifecycle should
+// Close it; the replica core closes engines it constructed when the
+// node stops.
+func New() *LSM { return NewWithOptions(Options{}) }
+
+// NewWithOptions returns an LSM engine with explicit thresholds.
+func NewWithOptions(opts Options) *LSM {
+	if opts.MemtableBytes <= 0 {
+		opts.MemtableBytes = DefaultMemtableBytes
+	}
+	if opts.CompactRuns <= 0 {
+		opts.CompactRuns = DefaultCompactRuns
+	}
+	l := &LSM{
+		opts:     opts,
+		mem:      make(map[string][]version),
+		compactC: make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	l.stable.Store(-1)
+	go l.compactLoop()
+	return l
+}
+
+// Close shuts the compactor down and waits for it to exit. Safe to
+// call more than once; the engine remains readable afterwards (only
+// background merging stops).
+func (l *LSM) Close() {
+	l.closeOnce.Do(func() { close(l.stop) })
+	<-l.done
+}
+
+// Freezes returns how many memtable freezes have happened (test
+// introspection).
+func (l *LSM) Freezes() int64 { return l.freezes.Load() }
+
+// Compactions returns how many background merges have been installed
+// (test introspection).
+func (l *LSM) Compactions() int64 { return l.compactions.Load() }
+
+// RunCount returns the current number of frozen runs (test
+// introspection).
+func (l *LSM) RunCount() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.runs)
+}
+
+// stripeOf maps a key to its prune stripe with inline FNV-1a, the same
+// hash the sharded store shards by.
+func stripeOf(key string) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return int(h & (pruneStripes - 1))
+}
+
+// StableBatch returns the newest batch whose writes are fully visible.
+func (l *LSM) StableBatch() int64 { return l.stable.Load() }
+
+func (l *LSM) advanceStable(batch int64) {
+	for {
+		cur := l.stable.Load()
+		if batch <= cur || l.stable.CompareAndSwap(cur, batch) {
+			return
+		}
+	}
+}
+
+// ShardCount reports the prune-stripe count for incremental pruning.
+func (l *LSM) ShardCount() int { return pruneStripes }
+
+// newestAtOrBelow resolves the newest version with batch <= asOf in an
+// ascending version slice.
+func newestAtOrBelow(vs []version, asOf int64) (store.Versioned, bool) {
+	i := sort.Search(len(vs), func(i int) bool { return vs[i].batch > asOf })
+	if i == 0 {
+		// All versions are newer than asOf (or there are none): the
+		// caller must keep searching older structures.
+		return store.Versioned{}, false
+	}
+	v := vs[i-1]
+	return store.Versioned{Value: v.value, Writer: v.batch, Found: true}, true
+}
+
+// lookupLocked resolves a snapshot read; the caller holds at least the
+// read lock. The first structure (memtable, then runs newest-first)
+// holding any version at or below asOf holds the newest such version,
+// by the per-key ordering invariant.
+func (l *LSM) lookupLocked(key string, asOf int64) store.Versioned {
+	if vs := l.mem[key]; len(vs) > 0 {
+		if v, ok := newestAtOrBelow(vs, asOf); ok {
+			return v
+		}
+	}
+	for _, r := range l.runs {
+		if key < r.minKey || key > r.maxKey {
+			continue
+		}
+		e := r.find(key)
+		if e == nil {
+			continue
+		}
+		if v, ok := newestAtOrBelow(e.versions, asOf); ok {
+			return v
+		}
+		// This run's versions are all newer than asOf; an older run may
+		// still hold the answer.
+	}
+	return store.Versioned{}
+}
+
+// Load installs the genesis data as batch 0 writes. Intended for the
+// initial data placement before the system starts, like the sharded
+// store's Load: each key's history becomes exactly the genesis version.
+func (l *LSM) Load(kv map[string][]byte) {
+	l.mu.Lock()
+	for k, v := range kv {
+		l.mem[k] = []version{{batch: store.GenesisBatch, value: v}}
+		l.memBytes += memCost(k, v)
+	}
+	froze := l.maybeFreezeLocked()
+	l.mu.Unlock()
+	l.advanceStable(store.GenesisBatch)
+	if froze {
+		l.signalCompact()
+	}
+}
+
+// ApplyAll applies one batch's write set under a single lock hold and
+// then advances the stable watermark to batch (also for empty write
+// sets). A freeze, if the memtable crossed its threshold, happens in
+// the same critical section, so a batch's writes never straddle the
+// memtable/run boundary mid-install.
+func (l *LSM) ApplyAll(batch int64, writes map[string][]byte) {
+	froze := false
+	if len(writes) > 0 {
+		l.mu.Lock()
+		for k, v := range writes {
+			vs := l.mem[k]
+			if n := len(vs); n > 0 && vs[n-1].batch == batch {
+				vs[n-1].value = v
+			} else {
+				vs = append(vs, version{batch: batch, value: v})
+				l.memBytes += memCost(k, v)
+			}
+			l.mem[k] = vs
+		}
+		froze = l.maybeFreezeLocked()
+		l.mu.Unlock()
+	}
+	l.advanceStable(batch)
+	if froze {
+		l.signalCompact()
+	}
+}
+
+// memCost approximates one version's footprint for the freeze
+// threshold.
+func memCost(k string, v []byte) int { return len(k) + len(v) + 24 }
+
+// maybeFreezeLocked freezes the memtable into a new front run when it
+// crossed the threshold; the caller holds the write lock and signals
+// the compactor after releasing it.
+func (l *LSM) maybeFreezeLocked() bool {
+	if l.memBytes < l.opts.MemtableBytes || len(l.mem) == 0 {
+		return false
+	}
+	entries := make([]entry, 0, len(l.mem))
+	for k, vs := range l.mem {
+		entries = append(entries, entry{key: k, versions: vs})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
+	l.runs = append([]*run{newRun(entries)}, l.runs...)
+	l.mem = make(map[string][]version)
+	l.memBytes = 0
+	l.freezes.Add(1)
+	return true
+}
+
+// Get returns the newest version of key.
+func (l *LSM) Get(key string) (value []byte, writer int64, ok bool) {
+	l.mu.RLock()
+	v := l.lookupLocked(key, math.MaxInt64)
+	l.mu.RUnlock()
+	return v.Value, v.Writer, v.Found
+}
+
+// GetAsOf returns the newest version of key visible at asOf.
+func (l *LSM) GetAsOf(key string, asOf int64) (value []byte, writer int64, ok bool) {
+	l.mu.RLock()
+	v := l.lookupLocked(key, asOf)
+	l.mu.RUnlock()
+	return v.Value, v.Writer, v.Found
+}
+
+// MultiGetAsOf resolves a snapshot read of many keys under one lock
+// hold, in input order.
+func (l *LSM) MultiGetAsOf(keys []string, asOf int64) []store.Versioned {
+	out := make([]store.Versioned, len(keys))
+	l.mu.RLock()
+	for i, k := range keys {
+		out[i] = l.lookupLocked(k, asOf)
+	}
+	l.mu.RUnlock()
+	return out
+}
+
+// LastWriter returns the newest batch that wrote key (-1 if never).
+func (l *LSM) LastWriter(key string) int64 {
+	l.mu.RLock()
+	v := l.lookupLocked(key, math.MaxInt64)
+	l.mu.RUnlock()
+	if !v.Found {
+		return -1
+	}
+	return v.Writer
+}
+
+// LastWriters batches LastWriter over many keys under one lock hold.
+func (l *LSM) LastWriters(keys []string) []int64 {
+	out := make([]int64, len(keys))
+	l.mu.RLock()
+	for i, k := range keys {
+		if v := l.lookupLocked(k, math.MaxInt64); v.Found {
+			out[i] = v.Writer
+		} else {
+			out[i] = -1
+		}
+	}
+	l.mu.RUnlock()
+	return out
+}
+
+// Keys returns the number of live keys (the union of memtable and run
+// keys).
+func (l *LSM) Keys() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	seen := make(map[string]struct{}, len(l.mem))
+	for k, vs := range l.mem {
+		if len(vs) > 0 {
+			seen[k] = struct{}{}
+		}
+	}
+	for _, r := range l.runs {
+		for i := range r.entries {
+			seen[r.entries[i].key] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// VersionCount returns how many versions of key are retained. Version
+// ranges of the memtable and each run are disjoint, so the counts sum.
+func (l *LSM) VersionCount(key string) int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	n := len(l.mem[key])
+	for _, r := range l.runs {
+		if key < r.minKey || key > r.maxKey {
+			continue
+		}
+		if e := r.find(key); e != nil {
+			n += len(e.versions)
+		}
+	}
+	return n
+}
+
+// ExportAsOf captures the snapshot at asOf, key-sorted: for every key,
+// the newest version with writer <= asOf.
+func (l *LSM) ExportAsOf(asOf int64) []store.KV {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	seen := make(map[string]struct{}, len(l.mem))
+	var out []store.KV
+	add := func(k string) {
+		if _, dup := seen[k]; dup {
+			return
+		}
+		seen[k] = struct{}{}
+		if v := l.lookupLocked(k, asOf); v.Found {
+			out = append(out, store.KV{Key: k, Value: v.Value, Writer: v.Writer})
+		}
+	}
+	for k := range l.mem {
+		add(k)
+	}
+	for _, r := range l.runs {
+		for i := range r.entries {
+			add(r.entries[i].key)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// ImportAsOf replaces all content with a snapshot captured at asOf:
+// the memtable resets and the snapshot becomes the single run, each key
+// carrying exactly one version tagged with its original writer batch.
+func (l *LSM) ImportAsOf(asOf int64, entries []store.KV) {
+	sorted := entries
+	if !sort.SliceIsSorted(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key }) {
+		sorted = append([]store.KV(nil), entries...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	}
+	es := make([]entry, 0, len(sorted))
+	for _, e := range sorted {
+		es = append(es, entry{key: e.Key, versions: []version{{batch: e.Writer, value: e.Value}}})
+	}
+	l.mu.Lock()
+	l.mem = make(map[string][]version)
+	l.memBytes = 0
+	if len(es) > 0 {
+		l.runs = []*run{newRun(es)}
+	} else {
+		l.runs = nil
+	}
+	l.mu.Unlock()
+	l.advanceStable(asOf)
+}
+
+// Prune drops versions below keepFrom across all stripes.
+func (l *LSM) Prune(keepFrom int64) {
+	for i := 0; i < pruneStripes; i++ {
+		l.PruneShard(i, keepFrom)
+	}
+}
+
+// PruneShard prunes one stripe synchronously: for every key hashing to
+// stripe i it keeps the newest version at or below keepFrom plus
+// everything newer, and drops the rest — scanning the memtable first
+// and then the runs newest-first, so once a newer structure is known to
+// retain the key's floor version every older version of that key can go
+// outright. Runs are immutable, so affected ones are rebuilt and
+// swapped in place (which also tells an in-flight background merge its
+// inputs are stale). The background compactor reclaims the remaining
+// slack by merging runs at the already-applied floor.
+func (l *LSM) PruneShard(i int, keepFrom int64) {
+	if i < 0 || i >= pruneStripes {
+		return
+	}
+	l.mu.Lock()
+	if keepFrom <= l.stripeFloor[i] {
+		l.mu.Unlock()
+		return
+	}
+	l.stripeFloor[i] = keepFrom
+	// kept marks keys whose floor version is retained by a structure
+	// newer than the one currently being scanned.
+	kept := make(map[string]bool)
+	for k, vs := range l.mem {
+		if stripeOf(k) != i {
+			continue
+		}
+		j := sort.Search(len(vs), func(j int) bool { return vs[j].batch > keepFrom })
+		if j > 1 {
+			l.mem[k] = append(vs[:0:0], vs[j-1:]...)
+		}
+		if j > 0 {
+			kept[k] = true
+		}
+	}
+	var changed bool
+	var newRuns []*run
+	for _, r := range l.runs {
+		nr, mod := r.pruneStripe(i, keepFrom, kept)
+		changed = changed || mod
+		if nr != nil {
+			newRuns = append(newRuns, nr)
+		}
+	}
+	if changed {
+		l.runs = newRuns
+	}
+	l.mu.Unlock()
+	if changed {
+		l.signalCompact()
+	}
+}
+
+// floorLocked is the prune boundary every stripe has been pruned to —
+// the floor the compactor may drop versions below. The caller holds at
+// least the read lock.
+func (l *LSM) floorLocked() int64 {
+	floor := l.stripeFloor[0]
+	for _, f := range l.stripeFloor[1:] {
+		if f < floor {
+			floor = f
+		}
+	}
+	return floor
+}

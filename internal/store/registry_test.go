@@ -1,0 +1,63 @@
+package store_test
+
+import (
+	"strings"
+	"testing"
+
+	"transedge/internal/store"
+)
+
+// TestNewEngineDefaultsAndErrors pins the registry contract: the empty
+// name selects the sharded default, and an unknown name is an error
+// that lists every valid backend — no silent fallback.
+func TestNewEngineDefaultsAndErrors(t *testing.T) {
+	e, err := store.NewEngine("", 8)
+	if err != nil {
+		t.Fatalf(`NewEngine("") = %v`, err)
+	}
+	if _, ok := e.(*store.Store); !ok {
+		t.Fatalf(`NewEngine("") built a %T, want the sharded store`, e)
+	}
+	if e, err = store.NewEngine(store.DefaultEngine, 8); err != nil {
+		t.Fatalf("NewEngine(%q) = %v", store.DefaultEngine, err)
+	} else if _, ok := e.(*store.Store); !ok {
+		t.Fatalf("NewEngine(%q) built a %T", store.DefaultEngine, e)
+	}
+
+	_, err = store.NewEngine("no-such-backend", 8)
+	if err == nil {
+		t.Fatal("NewEngine(no-such-backend) succeeded")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "no-such-backend") {
+		t.Fatalf("error %q does not echo the bad name", msg)
+	}
+	for _, name := range store.EngineNames() {
+		if !strings.Contains(msg, name) {
+			t.Fatalf("error %q does not list registered engine %q", msg, name)
+		}
+	}
+}
+
+// TestEngineNamesSorted pins that the name list is deterministic (it is
+// embedded in user-facing error messages and CLI help).
+func TestEngineNamesSorted(t *testing.T) {
+	names := store.EngineNames()
+	if len(names) == 0 {
+		t.Fatal("no engines registered")
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("EngineNames not sorted: %v", names)
+		}
+	}
+	seen := false
+	for _, n := range names {
+		if n == store.DefaultEngine {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Fatalf("EngineNames %v missing the default %q", names, store.DefaultEngine)
+	}
+}

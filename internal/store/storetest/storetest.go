@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"transedge/internal/store"
@@ -27,15 +29,38 @@ import (
 // property runs as its own subtest so a failing backend reports exactly
 // which part of the contract it breaks.
 func Run(t *testing.T, mk func() store.Engine) {
-	t.Run("EmptyEngine", func(t *testing.T) { testEmpty(t, mk()) })
-	t.Run("LoadGenesis", func(t *testing.T) { testLoad(t, mk()) })
-	t.Run("ApplyAndSnapshots", func(t *testing.T) { testApplyAndSnapshots(t, mk()) })
-	t.Run("EmptyBatchAdvancesWatermark", func(t *testing.T) { testEmptyBatch(t, mk()) })
-	t.Run("BatchedReadsMatchPointReads", func(t *testing.T) { testBatchedReads(t, mk()) })
+	t.Run("EmptyEngine", func(t *testing.T) { testEmpty(t, newEngine(t, mk)) })
+	t.Run("LoadGenesis", func(t *testing.T) { testLoad(t, newEngine(t, mk)) })
+	t.Run("ApplyAndSnapshots", func(t *testing.T) { testApplyAndSnapshots(t, newEngine(t, mk)) })
+	t.Run("EmptyBatchAdvancesWatermark", func(t *testing.T) { testEmptyBatch(t, newEngine(t, mk)) })
+	t.Run("BatchedReadsMatchPointReads", func(t *testing.T) { testBatchedReads(t, newEngine(t, mk)) })
 	t.Run("ExportImportRoundTrip", func(t *testing.T) { testExportImport(t, mk, mk) })
-	t.Run("PruneKeepsServableSnapshot", func(t *testing.T) { testPrune(t, mk()) })
-	t.Run("PruneShardCoversAllShards", func(t *testing.T) { testPruneShard(t, mk()) })
-	t.Run("RandomizedAgainstModel", func(t *testing.T) { testRandomized(t, mk()) })
+	t.Run("PruneKeepsServableSnapshot", func(t *testing.T) { testPrune(t, newEngine(t, mk)) })
+	t.Run("PruneShardCoversAllShards", func(t *testing.T) { testPruneShard(t, newEngine(t, mk)) })
+	t.Run("RandomizedAgainstModel", func(t *testing.T) { testRandomized(t, newEngine(t, mk)) })
+	t.Run("ConcurrentSnapshotStress", func(t *testing.T) { testConcurrentStress(t, newEngine(t, mk)) })
+}
+
+// RunCross exercises cross-backend state transfer: a snapshot exported
+// from one backend imports into the other with identical reads and
+// provenance, in both directions. This is what lets a mixed fleet (or a
+// migration) move replica state between engines.
+func RunCross(t *testing.T, mkA, mkB func() store.Engine) {
+	t.Run("ExportImportAToB", func(t *testing.T) { testExportImport(t, mkA, mkB) })
+	t.Run("ExportImportBToA", func(t *testing.T) { testExportImport(t, mkB, mkA) })
+}
+
+// newEngine builds a fresh engine and ties its lifecycle to the test:
+// backends with background goroutines (e.g. an LSM compactor) expose
+// Close, and the suite shuts them down so goroutine-leak and race
+// checks see a quiet engine at test end.
+func newEngine(t *testing.T, mk func() store.Engine) store.Engine {
+	t.Helper()
+	e := mk()
+	if c, ok := e.(interface{ Close() }); ok {
+		t.Cleanup(c.Close)
+	}
+	return e
 }
 
 func testEmpty(t *testing.T, e store.Engine) {
@@ -175,7 +200,7 @@ func testBatchedReads(t *testing.T, e store.Engine) {
 // exported at a batch boundary reproduces every visible read — values and
 // writer provenance — at that boundary, and sets the watermark to it.
 func testExportImport(t *testing.T, mkSrc, mkDst func() store.Engine) {
-	src := mkSrc()
+	src := newEngine(t, mkSrc)
 	src.Load(map[string][]byte{"a": []byte("ga"), "b": []byte("gb")})
 	src.ApplyAll(1, map[string][]byte{"a": []byte("a1"), "c": []byte("c1")})
 	src.ApplyAll(2, map[string][]byte{"b": []byte("b2"), "d": []byte("d2")})
@@ -193,7 +218,7 @@ func testExportImport(t *testing.T, mkSrc, mkDst func() store.Engine) {
 		}
 	}
 
-	dst := mkDst()
+	dst := newEngine(t, mkDst)
 	dst.Load(map[string][]byte{"stale": []byte("gone")}) // Import must replace, not merge.
 	dst.ImportAsOf(asOf, snap)
 
@@ -287,9 +312,19 @@ type modelVersion struct {
 // through the same seeded workload — applies, snapshot reads, prunes, and
 // one export/import — and fails on the first divergence. This is the
 // cross-implementation equivalence check: every backend is compared
-// against the same executable specification.
+// against the same executable specification. Every failure is prefixed
+// with the seed and the index of the op that exposed it, so a red run on
+// a new backend reproduces from the log alone.
 func testRandomized(t *testing.T, e store.Engine) {
-	rng := rand.New(rand.NewSource(7))
+	const seed = 7
+	rng := rand.New(rand.NewSource(seed))
+	// op counts engine-visible operations (Load, ApplyAll, Prune,
+	// export/import, snapshot checks) in execution order.
+	var op int
+	failf := func(format string, args ...any) {
+		t.Helper()
+		t.Fatalf("[seed=%d op=%d] %s", seed, op, fmt.Sprintf(format, args...))
+	}
 	model := map[string][]modelVersion{}
 	keyAt := func(i int) string { return fmt.Sprintf("rk-%02d", i) }
 	const keySpace = 24
@@ -314,7 +349,7 @@ func testRandomized(t *testing.T, e store.Engine) {
 		for i, k := range keys {
 			mv, mw, mok := modelGetAsOf(k, asOf)
 			if got[i].Found != mok || got[i].Writer != mw || string(got[i].Value) != mv {
-				t.Fatalf("batch %d: MultiGetAsOf(%q, %d) = %+v, model = (%q, %d, %v)",
+				failf("batch %d: MultiGetAsOf(%q, %d) = %+v, model = (%q, %d, %v)",
 					batch, k, asOf, got[i], mv, mw, mok)
 			}
 		}
@@ -336,18 +371,20 @@ func testRandomized(t *testing.T, e store.Engine) {
 			k := keyAt(rng.Intn(keySpace))
 			writes[k] = []byte(fmt.Sprintf("b%d-%s", batch, k))
 		}
+		op++
 		e.ApplyAll(batch, writes)
 		for k, v := range writes {
 			model[k] = append(model[k], modelVersion{batch: batch, value: v})
 		}
 		if e.StableBatch() != batch {
-			t.Fatalf("StableBatch = %d after applying batch %d", e.StableBatch(), batch)
+			failf("StableBatch = %d after applying batch %d", e.StableBatch(), batch)
 		}
 
 		switch {
 		case batch%17 == 0:
 			// Prune both sides; later snapshot reads stay >= the floor.
 			pruned = batch - 2
+			op++
 			e.Prune(pruned)
 			for k, vs := range model {
 				j := 0
@@ -359,6 +396,7 @@ func testRandomized(t *testing.T, e store.Engine) {
 		case batch%29 == 0:
 			// Round-trip the engine's own state through export/import:
 			// history collapses to single versions at the boundary.
+			op++
 			snap := e.ExportAsOf(batch)
 			e.ImportAsOf(batch, snap)
 			for k := range model {
@@ -372,7 +410,157 @@ func testRandomized(t *testing.T, e store.Engine) {
 		}
 		// Only read at snapshots the prune floor still serves.
 		if batch-3 >= pruned {
+			op++
 			check(batch)
+		}
+	}
+}
+
+// testConcurrentStress replays, against any backend, the exact
+// concurrency the replica core produces: one dispatcher (the event
+// loop) applying batches in order, pinning snapshot targets, and
+// running the incremental per-shard pruner clamped by the oldest pinned
+// target — while a pool of readers does the snapshot fan-outs
+// concurrently. Pinned targets are always at or above the retention
+// floor (the pin-then-prune protocol of Node.pruneStoreStep), so every
+// read must resolve: full value, writer batch at or below the snapshot,
+// never torn, never pruned out from under the reader. Run it under
+// -race; the schedule, not the assertions, is most of the test.
+func testConcurrentStress(t *testing.T, e store.Engine) {
+	const (
+		keys    = 64
+		batches = 250
+		readers = 4
+		lag     = 8 // desired prune boundary: this far behind the stable batch
+	)
+	all := make([]string, keys)
+	init := make(map[string][]byte, keys)
+	for i := range all {
+		all[i] = fmt.Sprintf("key-%04d", i)
+		init[all[i]] = []byte(fmt.Sprintf("%s@0", all[i]))
+	}
+	e.Load(init)
+
+	type job struct {
+		target int64
+		probe  []string
+	}
+	var (
+		pinMu sync.Mutex
+		pins  = map[int64]int{}
+	)
+	unpin := func(target int64) {
+		pinMu.Lock()
+		if pins[target] > 1 {
+			pins[target]--
+		} else {
+			delete(pins, target)
+		}
+		pinMu.Unlock()
+	}
+	minPinned := func() int64 {
+		pinMu.Lock()
+		defer pinMu.Unlock()
+		min := int64(-1)
+		for tgt := range pins {
+			if min < 0 || tgt < min {
+				min = tgt
+			}
+		}
+		return min
+	}
+
+	jobs := make(chan job, 64)
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	var firstFail atomic.Value
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				for i, v := range e.MultiGetAsOf(j.probe, j.target) {
+					if !v.Found || v.Writer > j.target ||
+						string(v.Value) != fmt.Sprintf("%s@%d", j.probe[i], v.Writer) {
+						failures.Add(1)
+						firstFail.CompareAndSwap(nil, fmt.Sprintf(
+							"MultiGetAsOf(%q, %d)[%d] = {Found:%v Writer:%d Value:%q}",
+							j.probe[i], j.target, i, v.Found, v.Writer, v.Value))
+						break
+					}
+				}
+				unpin(j.target)
+			}
+		}()
+	}
+
+	// The dispatcher: write, pin + hand out reads, prune — serialized,
+	// like the node's event loop. `oldest` plays oldestSnapshot's role
+	// (monotone; every handed-out target is at or above it), and a prune
+	// pass fixes its boundary when it starts, clamped by pinned targets.
+	rng := rand.New(rand.NewSource(99))
+	var oldest, passBoundary, prunedThrough int64
+	cursor := 0
+	for b := int64(1); b <= batches; b++ {
+		writes := map[string][]byte{}
+		for _, k := range all {
+			if rng.Intn(4) == 0 {
+				writes[k] = []byte(fmt.Sprintf("%s@%d", k, b))
+			}
+		}
+		e.ApplyAll(b, writes)
+		if b-lag > oldest {
+			oldest = b - lag
+		}
+
+		// Pin snapshots at or above the retention floor, then hand the
+		// fan-outs to readers.
+		for n := rng.Intn(3); n > 0; n-- {
+			target := oldest + rng.Int63n(b-oldest+1)
+			probe := make([]string, 8)
+			for i := range probe {
+				probe[i] = all[rng.Intn(len(all))]
+			}
+			pinMu.Lock()
+			pins[target]++
+			pinMu.Unlock()
+			select {
+			case jobs <- job{target: target, probe: probe}:
+			default:
+				unpin(target) // pool saturated; the node would serve inline
+			}
+		}
+
+		// Incremental prune step, boundary fixed per pass and clamped by
+		// in-flight snapshots at pass start.
+		if cursor == 0 {
+			keep := oldest
+			if m := minPinned(); m >= 0 && m < keep {
+				keep = m
+			}
+			if keep <= prunedThrough {
+				continue
+			}
+			passBoundary = keep
+		}
+		e.PruneShard(cursor, passBoundary)
+		cursor++
+		if cursor == e.ShardCount() {
+			cursor = 0
+			prunedThrough = passBoundary
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if n := failures.Load(); n > 0 {
+		t.Fatalf("%d snapshot reads returned torn or pruned state; first: %s",
+			n, firstFail.Load())
+	}
+	// Final state sanity after the dust settles.
+	for _, k := range all[:8] {
+		v, w, ok := e.Get(k)
+		if !ok || string(v) != fmt.Sprintf("%s@%d", k, w) {
+			t.Fatalf("final Get(%q) = %q@%d %v", k, v, w, ok)
 		}
 	}
 }

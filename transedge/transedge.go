@@ -41,6 +41,7 @@ import (
 
 	"transedge/internal/client"
 	"transedge/internal/core"
+	"transedge/internal/store"
 )
 
 // Options configures a deployment.
@@ -68,6 +69,12 @@ type Options struct {
 	// up to a power of two (default 16). One shard restores a global
 	// store lock; more shards let concurrent snapshot reads scale.
 	StoreShards int
+	// Engine selects each replica's storage backend by registry name:
+	// "sharded" (the default in-memory MVCC store) or "lsm" (the
+	// log-structured engine with memtable, immutable runs, and
+	// background compaction). Unknown names fail Start with an error
+	// listing the valid backends.
+	Engine string
 	// ReadExecutors sizes each replica's pool serving read-only
 	// transactions off the consensus loop (default: GOMAXPROCS).
 	ReadExecutors int
@@ -142,6 +149,17 @@ func Start(opts Options) (*System, error) {
 	if opts.F < 1 {
 		return nil, fmt.Errorf("%w: F must be >= 1", ErrBadOptions)
 	}
+	if opts.Engine != "" {
+		// Build-and-discard validates the name here, where it can be an
+		// error, instead of panicking deep inside node construction.
+		probe, err := store.NewEngine(opts.Engine, 1)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadOptions, err)
+		}
+		if c, ok := probe.(interface{ Close() }); ok {
+			c.Close()
+		}
+	}
 	sys := core.NewSystem(core.SystemConfig{
 		Clusters:             opts.Clusters,
 		F:                    opts.F,
@@ -150,6 +168,7 @@ func Start(opts Options) (*System, error) {
 		BatchMaxSize:         opts.BatchMaxSize,
 		PipelineDepth:        opts.PipelineDepth,
 		StoreShards:          opts.StoreShards,
+		Engine:               opts.Engine,
 		ReadExecutors:        opts.ReadExecutors,
 		CheckpointInterval:   opts.CheckpointInterval,
 		StateTransferTimeout: opts.StateTransferTimeout,
