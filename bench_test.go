@@ -556,3 +556,149 @@ func BenchmarkTable1ReadOnlyInterference(b *testing.B) {
 		b.ReportMetric(aug.AbortPct, "augustus_ro_abort_pct")
 	}
 }
+
+// --- Multi-proof microbenchmarks: one pruned-subtree proof per request
+// vs N independent proofs, at 1/10/100 keys. proofbytes/op and hashes/op
+// quantify the wire and verify-CPU savings the clientscale experiment
+// sees end to end. ---
+
+// benchMultiTree builds a 10k-key tree plus a query of n keys (about one
+// in eight absent, as in the RO workload's partition misses).
+func benchMultiTree(n int) (*merkle.Tree, [][]byte, []merkle.KeyAnswer) {
+	tr := merkle.New()
+	vals := make(map[string][]byte, 10000)
+	var pool [][]byte
+	for i := 0; i < 10000; i++ {
+		k := []byte(fmt.Sprintf("mp-key-%06d", i))
+		v := []byte(fmt.Sprintf("mp-val-%d", i))
+		tr = tr.Insert(k, merkle.HashValue(v))
+		vals[string(k)] = v
+		pool = append(pool, k)
+	}
+	keys := make([][]byte, 0, n)
+	answers := make([]merkle.KeyAnswer, 0, n)
+	for i := 0; i < n; i++ {
+		var k []byte
+		if i%8 == 7 {
+			k = []byte(fmt.Sprintf("mp-absent-%06d", i))
+		} else {
+			k = pool[(i*977)%len(pool)]
+		}
+		keys = append(keys, k)
+		if v, ok := vals[string(k)]; ok {
+			answers = append(answers, merkle.KeyAnswer{Key: k, Value: v, Found: true})
+		} else {
+			answers = append(answers, merkle.KeyAnswer{Key: k, Found: false})
+		}
+	}
+	return tr, keys, answers
+}
+
+// singleProofCost returns the canonical bytes of the N independent
+// proofs replaced by one multi-proof over keys.
+func singleProofCost(tr *merkle.Tree, keys [][]byte) int {
+	total := 0
+	for _, k := range keys {
+		if p, _, err := tr.Prove(k); err == nil {
+			total += len(protocol.EncodeProof(&p))
+		} else if ap, err := tr.ProveAbsent(k); err == nil {
+			total += len(protocol.EncodeAbsenceProof(&ap))
+		}
+	}
+	return total
+}
+
+func BenchmarkMultiProve(b *testing.B) {
+	for _, n := range []int{1, 10, 100} {
+		b.Run(fmt.Sprintf("keys=%d", n), func(b *testing.B) {
+			tr, keys, _ := benchMultiTree(n)
+			mp, err := tr.ProveMulti(keys)
+			if err != nil {
+				b.Fatal(err)
+			}
+			multiBytes := len(protocol.EncodeMultiProof(&mp))
+			singleBytes := singleProofCost(tr, keys)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tr.ProveMulti(keys); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(multiBytes), "proofbytes/op")
+			b.ReportMetric(float64(singleBytes), "singlebytes/op")
+			b.ReportMetric(float64(singleBytes)/float64(multiBytes), "shrink_x")
+		})
+	}
+}
+
+func BenchmarkVerifyMulti(b *testing.B) {
+	for _, n := range []int{1, 10, 100} {
+		b.Run(fmt.Sprintf("keys=%d", n), func(b *testing.B) {
+			tr, keys, answers := benchMultiTree(n)
+			root := tr.Root()
+			mp, err := tr.ProveMulti(keys)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Hash count of verifying the N independent proofs instead.
+			var singleHashes uint64
+			for _, a := range answers {
+				var p merkle.Proof
+				var ap merkle.AbsenceProof
+				found := a.Found
+				if found {
+					p, _, err = tr.Prove(a.Key)
+				} else {
+					ap, err = tr.ProveAbsent(a.Key)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				hs := merkle.HashOps()
+				if found {
+					err = merkle.VerifyProof(root, a.Key, a.Value, p)
+				} else {
+					err = merkle.VerifyAbsence(root, a.Key, ap)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				singleHashes += merkle.HashOps() - hs
+			}
+			start := merkle.HashOps()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := merkle.VerifyMulti(root, answers, mp); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(merkle.HashOps()-start)/float64(b.N), "hashes/op")
+			b.ReportMetric(float64(singleHashes), "singlehashes/op")
+		})
+	}
+}
+
+// BenchmarkClientScale — open-loop session clients driving verified
+// reads: throughput and p99 at the largest fleet, with the multi-proof
+// and root-cache savings reported against the toggled-off series.
+func BenchmarkClientScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := harness.ClientScale(benchScale)
+		x := fmt.Sprintf("clients=%d", benchScale.ROWorkers*16)
+		fast := pick(pts, "fastpath", x)
+		noMulti := pick(pts, "no-multiproof", x)
+		noCache := pick(pts, "no-rootcache", x)
+		if fast == nil || noMulti == nil || noCache == nil {
+			b.Fatal("missing series")
+		}
+		b.ReportMetric(fast.ThroughputTPS, "ro_tps")
+		b.ReportMetric(fast.P99MS, "p99_ms")
+		b.ReportMetric(fast.P999MS, "p999_ms")
+		b.ReportMetric(fast.ProofBytesPerReq, "proofbytes_req")
+		b.ReportMetric(noMulti.ProofBytesPerReq, "proofbytes_req_nomulti")
+		b.ReportMetric(float64(fast.CertVerifications), "certverifies")
+		b.ReportMetric(float64(noCache.CertVerifications), "certverifies_nocache")
+	}
+}

@@ -25,6 +25,12 @@
 // compose.
 //
 //	go run ./examples/byzantine -datadir /tmp/fleet
+//
+// With -engine every staged deployment runs the chosen storage backend,
+// so the fleet also checks that fault handling composes with, e.g., the
+// log-structured engine:
+//
+//	go run ./examples/byzantine -engine lsm
 package main
 
 import (
@@ -32,6 +38,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"path/filepath"
 	"time"
 
@@ -39,7 +46,10 @@ import (
 	"transedge/internal/client"
 	"transedge/internal/core"
 	"transedge/internal/protocol"
+	"transedge/internal/store"
 	"transedge/internal/transport"
+
+	_ "transedge/internal/store/lsm" // registers the "lsm" engine for -engine
 )
 
 // datadir, when set, turns on the durability layer for every staged
@@ -48,6 +58,7 @@ import (
 // attack N's WAL instead of starting fresh.
 var (
 	datadir  = flag.String("datadir", "", "enable durability; each attack uses its own subdir")
+	engine   = flag.String("engine", "", "storage backend per replica (default: sharded); see internal/store engine registry")
 	fleetSeq int
 )
 
@@ -72,6 +83,7 @@ func buildSystem(ro map[core.NodeID]core.ROBehavior) *core.System {
 		InitialData:   data,
 		ROByzantine:   ro,
 		DataDir:       fleetDataDir(),
+		Engine:        *engine,
 	})
 	sys.Start()
 	return sys
@@ -94,6 +106,7 @@ func buildFaultSystem(mut func(*core.SystemConfig)) *core.System {
 		ViewTimeout:        30 * time.Millisecond,
 		InitialData:        data,
 		DataDir:            fleetDataDir(),
+		Engine:             *engine,
 	}
 	if mut != nil {
 		mut(&cfg)
@@ -174,6 +187,18 @@ func requireNewView(sys *core.System, rs ...int32) {
 
 func main() {
 	flag.Parse()
+	if *engine != "" {
+		// Fail fast with the valid names instead of staging eight attacks
+		// against a typo'd backend label.
+		probe, err := store.NewEngine(*engine, 1)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if c, ok := probe.(interface{ Close() }); ok {
+			c.Close()
+		}
+	}
 	evil := core.NodeID{Cluster: 0, Replica: 0} // the partition's leader
 
 	fmt.Println("attack 1: leader serves forged values (proofs unchanged)")

@@ -56,6 +56,16 @@ type Config struct {
 	ROTarget func(cluster int32) NodeID
 	// Seed drives the coordinator choice for distributed commits.
 	Seed int64
+	// DisableRootCache turns off the verified-root cache: every read-only
+	// reply re-verifies its certificate even when the header digest was
+	// already verified, and no per-cluster checkpoint is kept. The zero
+	// value caches — repeat reads at an unchanged root cost zero
+	// certificate verifications.
+	DisableRootCache bool
+	// MeasureProofBytes makes the client canonically encode every verified
+	// proof and account its size (see ProofStats). Off by default: the
+	// encoding pass exists only for measurement.
+	MeasureProofBytes bool
 }
 
 // Client issues transactions against a TransEdge deployment.
@@ -73,6 +83,19 @@ type Client struct {
 	// freshness bound is still enforced per reply).
 	certMu   sync.Mutex
 	certSeen map[cryptoutil.Digest]struct{}
+	// roots holds the newest verified checkpoint per cluster — the batch
+	// ID and full header (Merkle root, CD, LCE) of the freshest reply this
+	// client has authenticated. Sessions pin reads to it; tests and tools
+	// inspect it via VerifiedCheckpoint.
+	roots map[int32]Checkpoint
+
+	// certChecks counts full certificate verifications (threshold Ed25519
+	// checks actually performed, cache hits excluded).
+	certChecks atomic.Int64
+	// proofReqs/proofBytes account verified read-only replies and their
+	// canonical proof encoding sizes when MeasureProofBytes is set.
+	proofReqs  atomic.Int64
+	proofBytes atomic.Int64
 
 	// prefMu/pref remember, per cluster, the replica that last answered a
 	// commit: after a leader failover the view-0 replica may be dead, and
@@ -105,6 +128,44 @@ func (c *Client) rememberCert(d cryptoutil.Digest) {
 	c.certSeen[d] = struct{}{}
 }
 
+// Checkpoint is a client-verified snapshot identity for one cluster: the
+// newest batch whose certificate this client checked, with its full
+// header (Merkle root, CD vector, LCE, timestamp).
+type Checkpoint struct {
+	BatchID int64
+	Header  protocol.BatchHeader
+}
+
+// VerifiedCheckpoint returns the newest verified checkpoint for a
+// cluster, if any. Always empty when DisableRootCache is set.
+func (c *Client) VerifiedCheckpoint(cluster int32) (Checkpoint, bool) {
+	c.certMu.Lock()
+	defer c.certMu.Unlock()
+	cp, ok := c.roots[cluster]
+	return cp, ok
+}
+
+// advanceCheckpoint records a verified header if it is newer than the
+// cached checkpoint for its cluster (advance-only: a stale-but-valid
+// reply never regresses the cache).
+func (c *Client) advanceCheckpoint(cluster int32, h protocol.BatchHeader) {
+	c.certMu.Lock()
+	defer c.certMu.Unlock()
+	if cur, ok := c.roots[cluster]; !ok || h.ID > cur.BatchID {
+		c.roots[cluster] = Checkpoint{BatchID: h.ID, Header: h}
+	}
+}
+
+// CertVerifications reports how many full certificate verifications this
+// client has performed (root-cache hits excluded).
+func (c *Client) CertVerifications() int64 { return c.certChecks.Load() }
+
+// ProofStats reports the verified read-only replies counted and their
+// total canonical proof bytes. Both stay zero unless MeasureProofBytes.
+func (c *Client) ProofStats() (requests, bytes int64) {
+	return c.proofReqs.Load(), c.proofBytes.Load()
+}
+
 // New creates a client. The client registers no mailbox: replies arrive on
 // per-request channels.
 func New(cfg Config) *Client {
@@ -122,6 +183,7 @@ func New(cfg Config) *Client {
 		self:     NodeID{Cluster: transport.ClientCluster, Replica: int32(cfg.ID)},
 		rng:      rand.New(rand.NewSource(cfg.Seed ^ int64(cfg.ID))),
 		certSeen: make(map[cryptoutil.Digest]struct{}),
+		roots:    make(map[int32]Checkpoint),
 		pref:     make(map[int32]int32),
 	}
 }
@@ -155,6 +217,10 @@ type Txn struct {
 	writes   []protocol.WriteOp
 	buffered map[string][]byte // read-your-own-writes
 	done     bool
+	// onCommit observes a successful commit: the coordinator cluster, the
+	// batch it committed in there, and whether the transaction spanned
+	// multiple partitions. Sessions hook it to advance their floors.
+	onCommit func(coord int32, batch int64, distributed bool)
 }
 
 // Begin opens a transaction.
@@ -256,6 +322,9 @@ func (t *Txn) Commit() error {
 			t.c.remember(coord, target.Replica)
 			if r.Status != protocol.StatusCommitted {
 				return fmt.Errorf("%w: %s", ErrAborted, r.Reason)
+			}
+			if t.onCommit != nil {
+				t.onCommit(coord, r.CommitBatch, len(txn.Partitions) > 1)
 			}
 			return nil
 		case <-time.After(per):

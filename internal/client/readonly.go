@@ -51,7 +51,28 @@ type roundReply struct {
 //  4. if violated, ask partition j for the state covering the dependency
 //     and re-verify; no third round is ever needed.
 func (c *Client) ReadOnly(keys []string) (*ROResult, error) {
-	if len(keys) == 0 {
+	return c.readOnly(keys, nil, nil)
+}
+
+// readOnly is ReadOnly with session pinning: floors gives, per cluster, a
+// minimum batch the served snapshot must reach (monotonic reads /
+// read-your-writes), and contact lists clusters that must be consulted
+// even when no requested key lives there — a header-only read whose CD
+// vector pulls a distributed commit's participants into the dependency
+// repair loop (the session read-your-writes closure).
+func (c *Client) readOnly(keys []string, floors map[int32]int64, contact []int32) (*ROResult, error) {
+	// Group keys per owning partition.
+	byCluster := make(map[int32][]string)
+	for _, k := range keys {
+		cl := c.cfg.Part.Of(k)
+		byCluster[cl] = append(byCluster[cl], k)
+	}
+	for _, cl := range contact {
+		if _, ok := byCluster[cl]; !ok {
+			byCluster[cl] = nil
+		}
+	}
+	if len(byCluster) == 0 {
 		return &ROResult{
 			Values:  map[string][]byte{},
 			Rounds:  1,
@@ -59,25 +80,20 @@ func (c *Client) ReadOnly(keys []string) (*ROResult, error) {
 			Headers: map[int32]protocol.BatchHeader{},
 		}, nil
 	}
-	// Group keys per owning partition.
-	byCluster := make(map[int32][]string)
-	for _, k := range keys {
-		cl := c.cfg.Part.Of(k)
-		byCluster[cl] = append(byCluster[cl], k)
-	}
 	clusters := make([]int32, 0, len(byCluster))
 	for cl := range byCluster {
 		clusters = append(clusters, cl)
 	}
+	floor := func(cl int32) int64 { return floors[cl] }
 
 	// ---- Round 1: fan out, one node per partition (commit-free). ----
 	pending := make(map[int32]chan protocol.ROReply, len(clusters))
 	for _, cl := range clusters {
-		pending[cl] = c.sendRO(cl, byCluster[cl], -1)
+		pending[cl] = c.sendRO(cl, byCluster[cl], -1, floor(cl))
 	}
 	replies := make(map[int32]*roundReply, len(clusters))
 	for _, cl := range clusters {
-		r, err := c.awaitRO(cl, byCluster[cl], pending[cl])
+		r, err := c.awaitRO(cl, byCluster[cl], pending[cl], floor(cl))
 		if err != nil {
 			return nil, err
 		}
@@ -101,10 +117,10 @@ func (c *Client) ReadOnly(keys []string) (*ROResult, error) {
 		rounds++
 		pending = make(map[int32]chan protocol.ROReply, len(needed))
 		for cl, minLCE := range needed {
-			pending[cl] = c.sendRO(cl, byCluster[cl], minLCE)
+			pending[cl] = c.sendRO(cl, byCluster[cl], minLCE, floor(cl))
 		}
 		for cl := range needed {
-			r, err := c.awaitRO(cl, byCluster[cl], pending[cl])
+			r, err := c.awaitRO(cl, byCluster[cl], pending[cl], floor(cl))
 			if err != nil {
 				return nil, fmt.Errorf("repair round %d: %w", rounds, err)
 			}
@@ -133,19 +149,19 @@ func (c *Client) ReadOnly(keys []string) (*ROResult, error) {
 }
 
 // sendRO issues one partition's read-only request.
-func (c *Client) sendRO(cluster int32, keys []string, asOfLCE int64) chan protocol.ROReply {
+func (c *Client) sendRO(cluster int32, keys []string, asOfLCE, minBatch int64) chan protocol.ROReply {
 	replyTo := make(chan protocol.ROReply, 1)
 	c.cfg.Net.Send(c.self, c.cfg.ROTarget(cluster), &protocol.RORequest{
-		Keys: keys, AsOfLCE: asOfLCE, ReplyTo: replyTo,
+		Keys: keys, AsOfLCE: asOfLCE, MinBatch: minBatch, ReplyTo: replyTo,
 	})
 	return replyTo
 }
 
 // awaitRO waits for and fully verifies one partition's answer.
-func (c *Client) awaitRO(cluster int32, keys []string, ch chan protocol.ROReply) (*roundReply, error) {
+func (c *Client) awaitRO(cluster int32, keys []string, ch chan protocol.ROReply, minBatch int64) (*roundReply, error) {
 	select {
 	case r := <-ch:
-		return c.verifyRO(cluster, keys, &r)
+		return c.verifyRO(cluster, keys, &r, minBatch)
 	case <-time.After(c.cfg.Timeout):
 		return nil, fmt.Errorf("%w: read-only request to cluster %d", ErrTimeout, cluster)
 	}
@@ -156,7 +172,7 @@ func (c *Client) awaitRO(cluster int32, keys []string, ch chan protocol.ROReply)
 // certified root, and optionally the freshness bound. A reply failing any
 // check is rejected — this is what makes a single untrusted node a
 // sufficient read quorum.
-func (c *Client) verifyRO(cluster int32, keys []string, r *protocol.ROReply) (*roundReply, error) {
+func (c *Client) verifyRO(cluster int32, keys []string, r *protocol.ROReply, minBatch int64) (*roundReply, error) {
 	if r.Err != "" {
 		return nil, fmt.Errorf("%w: cluster %d: %s", ErrServer, cluster, r.Err)
 	}
@@ -166,12 +182,18 @@ func (c *Client) verifyRO(cluster int32, keys []string, r *protocol.ROReply) (*r
 	if len(r.Header.CD) != c.cfg.Clusters {
 		return nil, fmt.Errorf("%w: malformed CD vector", ErrVerification)
 	}
+	if minBatch > 0 && r.Header.ID < minBatch {
+		return nil, fmt.Errorf("%w: batch %d below session floor %d", ErrVerification, r.Header.ID, minBatch)
+	}
 	d := r.Header.Digest()
-	if !c.certVerified(d) {
+	if c.cfg.DisableRootCache || !c.certVerified(d) {
+		c.certChecks.Add(1)
 		if err := cryptoutil.VerifyCertificate(c.cfg.Ring, r.Cert, d[:], c.threshold(cluster)); err != nil {
 			return nil, fmt.Errorf("%w: certificate: %v", ErrVerification, err)
 		}
-		c.rememberCert(d)
+		if !c.cfg.DisableRootCache {
+			c.rememberCert(d)
+		}
 	}
 	if c.cfg.MaxStaleness > 0 {
 		age := time.Duration(time.Now().UnixNano() - r.Header.Timestamp)
@@ -186,25 +208,62 @@ func (c *Client) verifyRO(cluster int32, keys []string, r *protocol.ROReply) (*r
 	for _, k := range keys {
 		seen[k] = true
 	}
-	for i := range r.Values {
-		v := &r.Values[i]
-		if !seen[v.Key] {
-			return nil, fmt.Errorf("%w: unrequested key %q in reply", ErrVerification, v.Key)
-		}
-		if !v.Found {
-			// "Not found" must be proven too, or a byzantine server
-			// could hide keys.
-			if v.Absence == nil {
-				return nil, fmt.Errorf("%w: unproven absence of %q", ErrVerification, v.Key)
+	if r.Multi != nil {
+		// Multi-proof path: one pruned-subtree proof co-proves every key's
+		// membership or absence against the certified root.
+		answers := make([]merkle.KeyAnswer, len(r.Values))
+		for i := range r.Values {
+			v := &r.Values[i]
+			if !seen[v.Key] {
+				return nil, fmt.Errorf("%w: unrequested key %q in reply", ErrVerification, v.Key)
 			}
-			if err := merkle.VerifyAbsence(r.Header.MerkleRoot, []byte(v.Key), *v.Absence); err != nil {
-				return nil, fmt.Errorf("%w: absence proof for %q: %v", ErrVerification, v.Key, err)
+			answers[i] = merkle.KeyAnswer{Key: []byte(v.Key), Value: v.Value, Found: v.Found}
+		}
+		if err := merkle.VerifyMulti(r.Header.MerkleRoot, answers, *r.Multi); err != nil {
+			return nil, fmt.Errorf("%w: multi-proof: %v", ErrVerification, err)
+		}
+	} else {
+		for i := range r.Values {
+			v := &r.Values[i]
+			if !seen[v.Key] {
+				return nil, fmt.Errorf("%w: unrequested key %q in reply", ErrVerification, v.Key)
 			}
-			continue
+			if !v.Found {
+				// "Not found" must be proven too, or a byzantine server
+				// could hide keys.
+				if v.Absence == nil {
+					return nil, fmt.Errorf("%w: unproven absence of %q", ErrVerification, v.Key)
+				}
+				if err := merkle.VerifyAbsence(r.Header.MerkleRoot, []byte(v.Key), *v.Absence); err != nil {
+					return nil, fmt.Errorf("%w: absence proof for %q: %v", ErrVerification, v.Key, err)
+				}
+				continue
+			}
+			if err := merkle.VerifyProof(r.Header.MerkleRoot, []byte(v.Key), v.Value, v.Proof); err != nil {
+				return nil, fmt.Errorf("%w: proof for %q: %v", ErrVerification, v.Key, err)
+			}
 		}
-		if err := merkle.VerifyProof(r.Header.MerkleRoot, []byte(v.Key), v.Value, v.Proof); err != nil {
-			return nil, fmt.Errorf("%w: proof for %q: %v", ErrVerification, v.Key, err)
+	}
+	if c.cfg.MeasureProofBytes {
+		n := 0
+		if r.Multi != nil {
+			n = len(protocol.EncodeMultiProof(r.Multi))
+		} else {
+			for i := range r.Values {
+				v := &r.Values[i]
+				switch {
+				case v.Absence != nil:
+					n += len(protocol.EncodeAbsenceProof(v.Absence))
+				case v.Found:
+					n += len(protocol.EncodeProof(&v.Proof))
+				}
+			}
 		}
+		c.proofReqs.Add(1)
+		c.proofBytes.Add(int64(n))
+	}
+	if !c.cfg.DisableRootCache {
+		c.advanceCheckpoint(cluster, r.Header)
 	}
 	return &roundReply{header: r.Header, values: r.Values}, nil
 }

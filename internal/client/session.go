@@ -1,0 +1,106 @@
+package client
+
+import "sync"
+
+// Session layers monotonic session guarantees over a client's verified
+// reads. Plain Client.ReadOnly already gives each read a consistent,
+// dependency-closed snapshot, but consecutive reads may regress (a later
+// read served by a lagging snapshot) and a session's own commits may not
+// be visible yet. A Session pins both:
+//
+//   - Monotonic reads: every verified read raises a per-cluster floor
+//     (the served batch); later reads of that cluster carry the floor as
+//     RORequest.MinBatch, so the server answers from a snapshot at least
+//     that new, parking briefly if the batch has not committed there yet.
+//
+//   - Read-your-writes: a committed transaction raises the coordinator's
+//     floor to its commit batch. For a single-partition transaction that
+//     is the whole story — the write is only visible at that cluster. A
+//     distributed commit additionally registers the coordinator as a
+//     closure cluster: every session read consults it (header-only when
+//     no requested key lives there), and the commit batch's CD vector
+//     drags each participant's LCE over the transaction's prepare batch
+//     through the ordinary dependency-repair loop. The closure read at a
+//     cached verified root costs zero certificate verifications.
+//
+// Floors only ever rise, and the client only pins batches it has direct
+// evidence of (its own verified replies and commit acknowledgments), so
+// an honest cluster always serves a pinned read. Staleness stays bounded
+// by the client's MaxStaleness: pinning sets a lower bound on the
+// snapshot, never an upper one.
+type Session struct {
+	c  *Client
+	mu sync.Mutex
+	// floors is the per-cluster minimum acceptable batch, applied whenever
+	// the cluster is consulted by a session read.
+	floors map[int32]int64
+	// closure marks coordinator clusters of distributed commits whose
+	// participants must be dependency-closed on every read; the value is
+	// the newest such commit batch.
+	closure map[int32]int64
+}
+
+// NewSession opens a session over the client. Sessions are independent:
+// each tracks only its own reads and commits.
+func (c *Client) NewSession() *Session {
+	return &Session{
+		c:       c,
+		floors:  make(map[int32]int64),
+		closure: make(map[int32]int64),
+	}
+}
+
+// Client returns the underlying client.
+func (s *Session) Client() *Client { return s.c }
+
+// Floor reports the session's current batch floor for a cluster (0 if
+// the session has not observed it yet).
+func (s *Session) Floor(cluster int32) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.floors[cluster]
+}
+
+// ReadOnly executes a verified snapshot read with the session's
+// guarantees, then advances the session floors to the batches served.
+func (s *Session) ReadOnly(keys []string) (*ROResult, error) {
+	s.mu.Lock()
+	floors := make(map[int32]int64, len(s.floors))
+	for cl, b := range s.floors {
+		floors[cl] = b
+	}
+	contact := make([]int32, 0, len(s.closure))
+	for cl := range s.closure {
+		contact = append(contact, cl)
+	}
+	s.mu.Unlock()
+	res, err := s.c.readOnly(keys, floors, contact)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	for cl, b := range res.Batches {
+		if b > s.floors[cl] {
+			s.floors[cl] = b
+		}
+	}
+	s.mu.Unlock()
+	return res, nil
+}
+
+// Begin opens a read-write transaction whose commit advances the
+// session's floors, making the write visible to subsequent session reads.
+func (s *Session) Begin() *Txn {
+	t := s.c.Begin()
+	t.onCommit = func(coord int32, batch int64, distributed bool) {
+		s.mu.Lock()
+		if batch > s.floors[coord] {
+			s.floors[coord] = batch
+		}
+		if distributed && batch > s.closure[coord] {
+			s.closure[coord] = batch
+		}
+		s.mu.Unlock()
+	}
+	return t
+}

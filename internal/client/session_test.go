@@ -1,0 +1,220 @@
+package client_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"transedge/internal/client"
+	"transedge/internal/core"
+)
+
+func newClientCfg(sys *core.System, id uint32, mut func(*client.Config)) *client.Client {
+	cfg := client.Config{
+		ID: id, Net: sys.Net, Ring: sys.Ring, Part: sys.Part,
+		Clusters: sys.Cfg.Clusters, Timeout: 10 * time.Second,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	return client.New(cfg)
+}
+
+// keyOn finds a fresh (not preloaded) key owned by the given cluster.
+func keyOn(sys *core.System, cluster int32, tag string) string {
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("session-%s-%d", tag, i)
+		if sys.Part.Of(k) == cluster {
+			return k
+		}
+	}
+}
+
+// TestSessionReadYourWrites: a session read immediately after the
+// session's own single-partition commit sees the write, first try — the
+// commit batch is the session floor, so no luck with snapshot timing is
+// involved.
+func TestSessionReadYourWrites(t *testing.T) {
+	sys := startSystem(t, 2)
+	c := newClientCfg(sys, 1, nil)
+	s := c.NewSession()
+	key := keyOn(sys, 0, "ryw")
+
+	txn := s.Begin()
+	txn.Write(key, []byte("mine"))
+	if err := txn.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	if s.Floor(0) <= 0 {
+		t.Fatalf("commit did not raise the session floor: %d", s.Floor(0))
+	}
+	res, err := s.ReadOnly([]string{key})
+	if err != nil {
+		t.Fatalf("session read: %v", err)
+	}
+	if string(res.Values[key]) != "mine" {
+		t.Fatalf("session read missed own write: %q", res.Values[key])
+	}
+	if res.Batches[0] < s.Floor(0) {
+		t.Fatalf("served batch %d below floor %d", res.Batches[0], s.Floor(0))
+	}
+}
+
+// TestSessionReadYourWritesDistributed: after a multi-partition commit, a
+// session read of only ONE participant's key still sees the write — even
+// when that participant is not the coordinator, via the header-only
+// closure contact that drags the participant's LCE over the transaction's
+// prepare batch. Several rounds so the random coordinator choice covers
+// both sides.
+func TestSessionReadYourWritesDistributed(t *testing.T) {
+	sys := startSystem(t, 2)
+	c := newClientCfg(sys, 2, nil)
+	s := c.NewSession()
+	for round := 0; round < 6; round++ {
+		k0 := keyOn(sys, 0, fmt.Sprintf("d0-%d", round))
+		k1 := keyOn(sys, 1, fmt.Sprintf("d1-%d", round))
+		want := fmt.Sprintf("v-%d", round)
+		txn := s.Begin()
+		txn.Write(k0, []byte(want))
+		txn.Write(k1, []byte(want))
+		if err := txn.Commit(); err != nil {
+			t.Fatalf("round %d commit: %v", round, err)
+		}
+		for _, k := range []string{k0, k1} {
+			res, err := s.ReadOnly([]string{k})
+			if err != nil {
+				t.Fatalf("round %d read %q: %v", round, k, err)
+			}
+			if string(res.Values[k]) != want {
+				t.Fatalf("round %d: session read of %q = %q, want %q", round, k, res.Values[k], want)
+			}
+		}
+	}
+}
+
+// TestSessionMonotonicReads: batches served to a session never regress.
+func TestSessionMonotonicReads(t *testing.T) {
+	sys := startSystem(t, 2)
+	c := newClientCfg(sys, 3, nil)
+	s := c.NewSession()
+	keys := []string{"key-001", "key-002", "key-003"}
+	last := make(map[int32]int64)
+	w := newClientCfg(sys, 4, nil)
+	for i := 0; i < 5; i++ {
+		res, err := s.ReadOnly(keys)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		for cl, b := range res.Batches {
+			if b < last[cl] {
+				t.Fatalf("read %d: cluster %d batch regressed %d -> %d", i, cl, last[cl], b)
+			}
+			last[cl] = b
+			if b < s.Floor(cl) {
+				t.Fatalf("read %d: batch %d below floor %d", i, b, s.Floor(cl))
+			}
+		}
+		// Advance the system between session reads with another client.
+		txn := w.Begin()
+		txn.Write(fmt.Sprintf("key-%03d", i+10), []byte(fmt.Sprintf("w%d", i)))
+		if err := txn.Commit(); err != nil {
+			t.Fatalf("advance %d: %v", i, err)
+		}
+	}
+}
+
+// TestSessionReadsZeroCertVerificationsAtUnchangedRoot: with the system
+// quiescent, the first read verifies each cluster's certificate once;
+// repeat session reads at the unchanged root verify none.
+func TestSessionReadsZeroCertVerificationsAtUnchangedRoot(t *testing.T) {
+	sys := startSystem(t, 2)
+	c := newClientCfg(sys, 5, nil)
+	s := c.NewSession()
+	keys := []string{"key-010", "key-011", "key-012"}
+	if _, err := s.ReadOnly(keys); err != nil {
+		t.Fatal(err)
+	}
+	before := c.CertVerifications()
+	if before == 0 {
+		t.Fatal("first read performed no certificate verification")
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := s.ReadOnly(keys); err != nil {
+			t.Fatalf("repeat read %d: %v", i, err)
+		}
+	}
+	if got := c.CertVerifications(); got != before {
+		t.Fatalf("repeat reads at unchanged root performed %d extra certificate verifications", got-before)
+	}
+	for _, k := range keys {
+		if cp, ok := c.VerifiedCheckpoint(sys.Part.Of(k)); !ok || cp.BatchID < 0 {
+			t.Fatalf("no verified checkpoint for cluster %d", sys.Part.Of(k))
+		}
+	}
+}
+
+// TestDisableRootCachePaysPerRead: with the cache off, every read of
+// every contacted cluster re-verifies, and no checkpoint is kept.
+func TestDisableRootCachePaysPerRead(t *testing.T) {
+	sys := startSystem(t, 2)
+	c := newClientCfg(sys, 6, func(cfg *client.Config) { cfg.DisableRootCache = true })
+	keys := []string{"key-020", "key-021"}
+	const reads = 4
+	for i := 0; i < reads; i++ {
+		if _, err := c.ReadOnly(keys); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	clusters := map[int32]bool{}
+	for _, k := range keys {
+		clusters[sys.Part.Of(k)] = true
+	}
+	if got, want := c.CertVerifications(), int64(reads*len(clusters)); got < want {
+		t.Fatalf("cache-off client verified %d certificates, want at least %d", got, want)
+	}
+	for cl := range clusters {
+		if _, ok := c.VerifiedCheckpoint(cl); ok {
+			t.Fatalf("cache-off client kept a checkpoint for cluster %d", cl)
+		}
+	}
+}
+
+// TestMultiProofShrinksWireProofs: end to end, the multi-proof reply for
+// a 10-key read costs fewer canonical proof bytes than the per-key path
+// serving the same read.
+func TestMultiProofShrinksWireProofs(t *testing.T) {
+	keys := make([]string, 10)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%03d", i*7)
+	}
+	keys[9] = "absent-on-purpose"
+
+	bytesFor := func(disableMulti bool) int64 {
+		data := make(map[string][]byte)
+		for i := 0; i < 100; i++ {
+			data[fmt.Sprintf("key-%03d", i)] = []byte(fmt.Sprintf("init-%d", i))
+		}
+		sys := core.NewSystem(core.SystemConfig{
+			Clusters: 1, F: 1, Seed: 21, BatchInterval: time.Millisecond,
+			InitialData: data, DisableMultiProofRO: disableMulti,
+		})
+		sys.Start()
+		defer sys.Stop()
+		c := newClientCfg(sys, 7, func(cfg *client.Config) { cfg.MeasureProofBytes = true })
+		if _, err := c.ReadOnly(keys); err != nil {
+			t.Fatalf("read (disableMulti=%v): %v", disableMulti, err)
+		}
+		reqs, bytes := c.ProofStats()
+		if reqs == 0 || bytes == 0 {
+			t.Fatalf("no proof bytes measured (disableMulti=%v)", disableMulti)
+		}
+		return bytes
+	}
+
+	multi := bytesFor(false)
+	single := bytesFor(true)
+	if multi >= single {
+		t.Fatalf("multi-proof read shipped %dB of proofs, per-key path %dB — expected a reduction", multi, single)
+	}
+	t.Logf("10-key read: multi-proof %dB vs per-key %dB (%.1f%%)", multi, single, 100*float64(multi)/float64(single))
+}

@@ -63,6 +63,10 @@ type NodeConfig struct {
 	// ROParkTimeout bounds how long a second-round read-only request may
 	// wait for a dependency batch to commit.
 	ROParkTimeout time.Duration
+	// DisableMultiProofRO restores the per-key proof path for read-only
+	// replies (one membership/absence proof per key). The zero value
+	// serves one compact multi-proof per request.
+	DisableMultiProofRO bool
 	// RetainBatches bounds how many historical snapshot versions (Merkle
 	// trees + store versions + batch bodies) a replica keeps for
 	// second-round serving. Zero keeps everything. Requests for pruned
@@ -218,7 +222,7 @@ type Node struct {
 	// engines belong to the caller.
 	ownsEngine bool
 	curTree    *merkle.Tree
-	trees   map[int64]*merkle.Tree
+	trees      map[int64]*merkle.Tree
 	// log is the retained window of committed batches: everything below
 	// the latest stable checkpoint is truncated (entry 0 starts as
 	// genesis; after a state transfer the base is the installed

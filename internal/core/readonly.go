@@ -53,26 +53,51 @@ func (n *Node) onReadRequest(m *protocol.ReadRequest) {
 // two asks for the state whose LCE covers an unsatisfied dependency; if
 // that batch has not committed here yet, the request parks until it does
 // (the dependency's group is guaranteed to commit — its 2PC decision is
-// already final).
+// already final). A session floor (MinBatch) parks the same way: the
+// client only pins batches it has evidence exist, so an honest cluster
+// commits the floor and unparks the request.
 func (n *Node) onRORequest(m *protocol.RORequest) {
+	target, ok := n.resolveROTarget(m)
+	if !ok {
+		n.parked = append(n.parked, parkedRO{
+			req:      *m,
+			deadline: time.Now().Add(n.cfg.ROParkTimeout),
+		})
+		return
+	}
+	n.serveRO(m, target)
+}
+
+// resolveROTarget picks the batch snapshot answering m, or reports that
+// the request must park (the dependency or session floor has not
+// committed here yet). Serving a newer batch than asked is always safe:
+// LCE is monotone over the log, so a newer snapshot still satisfies the
+// dependency, and a newer batch trivially satisfies a session floor.
+func (n *Node) resolveROTarget(m *protocol.RORequest) (int64, bool) {
 	target := n.lastBatchID()
+	second := false
 	if m.AsOfLCE >= 0 {
 		target = n.findBatchWithLCE(m.AsOfLCE)
 		if target < 0 {
-			n.parked = append(n.parked, parkedRO{
-				req:      *m,
-				deadline: time.Now().Add(n.cfg.ROParkTimeout),
-			})
-			return
+			return 0, false
 		}
-		n.Metrics.ROSecondRound++
+		second = true
+	}
+	if target < m.MinBatch {
+		if n.lastBatchID() < m.MinBatch {
+			return 0, false
+		}
+		target = m.MinBatch
 	}
 	if target < n.oldestSnapshot {
 		// The exact snapshot was pruned; the oldest retained one is
 		// newer, so its LCE still covers the requested dependency.
 		target = n.oldestSnapshot
 	}
-	n.serveRO(m, target)
+	if second {
+		n.Metrics.ROSecondRound++
+	}
+	return target, true
 }
 
 // findBatchWithLCE returns the earliest retained batch whose LCE is at
@@ -145,6 +170,46 @@ func (n *Node) serveROSnapshot(m *protocol.RORequest, snap roSnapshot) {
 		}
 	}
 	vals := n.st.MultiGetAsOf(localKeys, snap.batchID)
+	if !n.cfg.DisableMultiProofRO && len(m.Keys) > 0 {
+		// One pruned-subtree proof covers every key — membership and
+		// absence alike — so shared path prefixes ship and re-hash once
+		// per request instead of once per key. Non-local keys (absent
+		// from this partition's tree) are co-proved absent for free.
+		next := 0
+		for i, k := range m.Keys {
+			if next == len(local) || local[next] != i {
+				reply.Values = append(reply.Values, protocol.ROValue{Key: k})
+				continue
+			}
+			v := vals[next]
+			next++
+			if !v.Found {
+				reply.Values = append(reply.Values, protocol.ROValue{Key: k})
+				continue
+			}
+			value := v.Value
+			if n.cfg.ROBehavior.CorruptValues {
+				value = append(append([]byte(nil), value...), 0xff)
+			}
+			reply.Values = append(reply.Values, protocol.ROValue{Key: k, Value: value, Found: true})
+		}
+		keys := make([][]byte, len(m.Keys))
+		for i, k := range m.Keys {
+			keys[i] = []byte(k)
+		}
+		if mp, err := snap.tree.ProveMulti(keys); err == nil {
+			if n.cfg.ROBehavior.CorruptProofs && len(mp.Nodes) > 0 {
+				mp.Nodes = mp.Nodes[:len(mp.Nodes)-1]
+			}
+			reply.Multi = &mp
+		}
+		atomic.AddInt64(&n.Metrics.ROServed, 1)
+		select {
+		case m.ReplyTo <- reply:
+		default:
+		}
+		return
+	}
 	next := 0
 	for i, k := range m.Keys {
 		if next == len(local) || local[next] != i {
@@ -183,19 +248,19 @@ func (n *Node) serveROSnapshot(m *protocol.RORequest, snap roSnapshot) {
 	}
 }
 
-// serveParked retries parked second-round requests after each delivery.
+// serveParked retries parked requests (second-round dependency waits and
+// session-floor waits) after each delivery.
 func (n *Node) serveParked() {
 	if len(n.parked) == 0 {
 		return
 	}
 	remaining := n.parked[:0]
 	for _, p := range n.parked {
-		target := n.findBatchWithLCE(p.req.AsOfLCE)
-		if target < 0 {
+		target, ok := n.resolveROTarget(&p.req)
+		if !ok {
 			remaining = append(remaining, p)
 			continue
 		}
-		n.Metrics.ROSecondRound++
 		req := p.req
 		n.serveRO(&req, target)
 	}

@@ -10,6 +10,7 @@ import (
 	"transedge/internal/bft"
 	"transedge/internal/client"
 	"transedge/internal/core"
+	"transedge/internal/merkle"
 	"transedge/internal/protocol"
 	"transedge/internal/transport"
 )
@@ -293,7 +294,14 @@ func TestReadOnlyAbsentKeysAreProven(t *testing.T) {
 		if len(r.Values) != 1 || r.Values[0].Found {
 			t.Fatalf("unexpected reply: %+v", r.Values)
 		}
-		if r.Values[0].Absence == nil {
+		// The default reply proves absence through the request-wide
+		// multi-proof; the per-key path must attach an absence proof.
+		if r.Multi != nil {
+			answers := []merkle.KeyAnswer{{Key: []byte(absent), Found: false}}
+			if err := merkle.VerifyMulti(r.Header.MerkleRoot, answers, *r.Multi); err != nil {
+				t.Fatalf("multi-proof does not prove absence: %v", err)
+			}
+		} else if r.Values[0].Absence == nil {
 			t.Fatal("server did not attach an absence proof")
 		}
 	case <-time.After(5 * time.Second):

@@ -31,8 +31,11 @@ type SystemConfig struct {
 	InterLatency    time.Duration // cluster-to-cluster and client links
 	FreshnessWindow time.Duration
 	ROParkTimeout   time.Duration
-	RetainBatches   int
-	StoreShards     int // versioned-store shard count (0 = store.DefaultShards)
+	// DisableMultiProofRO restores per-key read-only proofs on every
+	// replica (see NodeConfig.DisableMultiProofRO).
+	DisableMultiProofRO bool
+	RetainBatches       int
+	StoreShards         int // versioned-store shard count (0 = store.DefaultShards)
 	// Engine names every replica's storage backend, resolved through
 	// the store engine registry ("" = store.DefaultEngine). Validate
 	// with store.NewEngine before building a system: NewNode panics on
@@ -166,6 +169,7 @@ func NewSystem(cfg SystemConfig) *System {
 				PipelineDepth:        cfg.PipelineDepth,
 				FreshnessWindow:      cfg.FreshnessWindow,
 				ROParkTimeout:        cfg.ROParkTimeout,
+				DisableMultiProofRO:  cfg.DisableMultiProofRO,
 				RetainBatches:        cfg.RetainBatches,
 				StoreShards:          cfg.StoreShards,
 				EngineName:           cfg.Engine,

@@ -1,0 +1,86 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// ClientScale — the verified-read fast path under open-loop client scale.
+//
+// Open-loop session clients issue wide (2 clusters x 10 keys, zipfian)
+// verified read-only transactions on Poisson arrival schedules; latency is
+// measured from each request's scheduled arrival, so queueing delay under
+// overload inflates the recorded tail instead of throttling the offered
+// load (the closed-loop fallacy). The sweep crosses client count with the
+// two fast-path toggles:
+//
+//	fastpath      — multi-proof replies + client root cache (the default)
+//	no-multiproof — per-key membership/absence proofs on the wire
+//	no-rootcache  — every reply re-verifies its f+1 certificate
+//
+// plus an arrival-rate sweep at a fixed fleet. Every row records proof
+// bytes per request, Merkle hash operations per read, and total
+// certificate verifications, so the fast path's savings are visible next
+// to the p50/p99/p999 they buy.
+func ClientScale(s Scale) []Point {
+	base := func() Config {
+		cfg := s.base()
+		cfg.Protocol = TransEdge
+		cfg.Clusters = 2
+		cfg.ROWorkers = 0
+		cfg.RWWorkers = 0
+		cfg.ROClusters = 2
+		cfg.ROPerCluster = 10
+		cfg.ZipfS = 1.1
+		cfg.MeasureProofBytes = true
+		cfg.IntraLatency = 2 * s.LatencyUnit
+		cfg.InterLatency = 2 * s.LatencyUnit
+		cfg.Duration = s.Duration * 2
+		return cfg
+	}
+	run := func(cfg Config, series, x string) Point {
+		runtime.GC() // level GC debt between points
+		r := Run(cfg)
+		return withRuntime(Point{
+			Experiment: "clientscale", Series: series, X: x,
+			LatencyMS: ms(r.RO.Mean), P99MS: ms(r.RO.P99), P999MS: ms(r.RO.P999),
+			ThroughputTPS: r.RO.Throughput, AbortPct: r.RO.AbortPct(),
+			ProofBytesPerReq:   r.ProofBytesPerReq,
+			VerifyHashesPerReq: r.VerifyHashesPerReq,
+			CertVerifications:  r.CertVerifications,
+		}, r)
+	}
+
+	const perClientRate = 40.0
+	modes := []struct {
+		series           string
+		disableMulti     bool
+		disableRootCache bool
+	}{
+		{"fastpath", false, false},
+		{"no-multiproof", true, false},
+		{"no-rootcache", false, true},
+	}
+	counts := []int{s.ROWorkers, s.ROWorkers * 4, s.ROWorkers * 16}
+
+	var out []Point
+	for _, m := range modes {
+		for _, clients := range counts {
+			cfg := base()
+			cfg.OpenLoopClients = clients
+			cfg.ArrivalRate = perClientRate
+			cfg.DisableMultiProofRO = m.disableMulti
+			cfg.DisableRootCache = m.disableRootCache
+			out = append(out, run(cfg, m.series, fmt.Sprintf("clients=%d", clients)))
+		}
+	}
+	// Arrival-rate sweep at the middle fleet: same clients, rising offered
+	// load, fast path on — the open-loop knee in one series.
+	for _, rate := range []float64{perClientRate / 4, perClientRate, perClientRate * 4} {
+		cfg := base()
+		cfg.OpenLoopClients = s.ROWorkers * 4
+		cfg.ArrivalRate = rate
+		out = append(out, run(cfg, "fastpath-rate", fmt.Sprintf("rate=%g", rate)))
+	}
+	return out
+}

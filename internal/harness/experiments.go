@@ -65,6 +65,7 @@ type Point struct {
 
 	LatencyMS     float64
 	P99MS         float64
+	P999MS        float64 `json:",omitempty"`
 	ThroughputTPS float64
 	AbortPct      float64
 	Round1MS      float64
@@ -77,6 +78,13 @@ type Point struct {
 	// any regression of it) visible in the recorded perf trajectory.
 	HeapMB float64
 	LogLen int64
+
+	// Verified-read cost accounting (clientscale rows): canonical proof
+	// bytes per read-only reply, Merkle hash operations per read, and
+	// total certificate verifications across the run's clients.
+	ProofBytesPerReq   float64 `json:",omitempty"`
+	VerifyHashesPerReq float64 `json:",omitempty"`
+	CertVerifications  int64   `json:",omitempty"`
 }
 
 // withRuntime copies a run's footprint measurements onto its point, so
@@ -642,32 +650,33 @@ func Engines(s Scale) []Point {
 
 // Experiments maps experiment IDs to their runners, for the CLI.
 var Experiments = map[string]func(Scale) []Point{
-	"fig4":      Fig4,
-	"fig5":      Fig5,
-	"fig6":      Fig6,
-	"fig7":      Fig7,
-	"fig8":      Fig8,
-	"fig10":     Fig10and11,
-	"fig11":     Fig10and11,
-	"fig9":      Fig9,
-	"fig12":     Fig12,
-	"fig13":     Fig13,
-	"fig14":     Fig14,
-	"fig15":     Fig15,
-	"table1":    Table1,
-	"pipeline":  Pipeline,
-	"hotpath":   Hotpath,
-	"readscale":  ReadScale,
-	"recovery":   Recovery,
-	"viewchange": ViewChange,
-	"durability": Durability,
-	"engines":    Engines,
+	"fig4":        Fig4,
+	"fig5":        Fig5,
+	"fig6":        Fig6,
+	"fig7":        Fig7,
+	"fig8":        Fig8,
+	"fig10":       Fig10and11,
+	"fig11":       Fig10and11,
+	"fig9":        Fig9,
+	"fig12":       Fig12,
+	"fig13":       Fig13,
+	"fig14":       Fig14,
+	"fig15":       Fig15,
+	"table1":      Table1,
+	"pipeline":    Pipeline,
+	"hotpath":     Hotpath,
+	"readscale":   ReadScale,
+	"clientscale": ClientScale,
+	"recovery":    Recovery,
+	"viewchange":  ViewChange,
+	"durability":  Durability,
+	"engines":     Engines,
 }
 
 // Order lists experiments in paper order for -experiment all.
 var Order = []string{
 	"fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 	"fig10", "fig12", "fig13", "fig14", "fig15", "table1",
-	"pipeline", "hotpath", "readscale", "recovery", "viewchange",
-	"durability", "engines",
+	"pipeline", "hotpath", "readscale", "clientscale", "recovery",
+	"viewchange", "durability", "engines",
 }

@@ -7,6 +7,7 @@ package harness
 
 import (
 	"errors"
+	"math/rand"
 	"runtime"
 	"sort"
 	"sync"
@@ -17,6 +18,7 @@ import (
 	"transedge/internal/baseline/twopcbft"
 	"transedge/internal/client"
 	"transedge/internal/core"
+	"transedge/internal/merkle"
 	"transedge/internal/protocol"
 	"transedge/internal/workload"
 )
@@ -90,6 +92,24 @@ type Config struct {
 	// read-write one — the read-mix knob of the readscale experiment.
 	MixedWorkers int
 	ROFraction   float64
+	// OpenLoopClients run session read-only clients on an open loop: each
+	// issues requests on a Poisson schedule of ArrivalRate requests/second
+	// regardless of completion, so queueing delay shows up in the tail
+	// percentiles (a closed loop self-clocks and hides it). Latency is
+	// measured from the scheduled arrival, not the actual send.
+	OpenLoopClients int
+	ArrivalRate     float64
+	// ZipfS skews open-loop (and every other worker's) key choice within
+	// each cluster; 0 keeps uniform draws.
+	ZipfS float64
+
+	// Verified-read fast-path toggles (the clientscale experiment sweeps
+	// them; zero values = both optimizations on).
+	DisableMultiProofRO bool
+	DisableRootCache    bool
+	// MeasureProofBytes makes every client canonically encode verified
+	// proofs and account their size (Result.ProofBytesPerReq).
+	MeasureProofBytes bool
 
 	// Workload shape. Zero means the paper default (5 reads, 3 writes);
 	// NoOps requests explicitly none.
@@ -159,6 +179,7 @@ type Stats struct {
 	P50        time.Duration
 	P95        time.Duration
 	P99        time.Duration
+	P999       time.Duration
 	Throughput float64 // committed txns per second
 }
 
@@ -194,26 +215,75 @@ type Result struct {
 	// LockAborts counts writer aborts caused by read locks (Augustus,
 	// Table 1).
 	LockAborts int64
+
+	// ProofBytesPerReq is the mean canonical proof encoding size per
+	// verified read-only reply, summed over all clients (0 unless
+	// MeasureProofBytes).
+	ProofBytesPerReq float64
+	// CertVerifications counts full certificate checks across all clients
+	// (root-cache hits excluded).
+	CertVerifications int64
+	// VerifyHashesPerReq is the mean Merkle hash operations per committed
+	// read-only transaction, from the process-wide merkle.HashOps delta
+	// over the run. Meaningful for read-only workloads (writes rebuild
+	// server trees through the same counter).
+	VerifyHashesPerReq float64
+}
+
+// reservoirCap bounds the latency sample kept per class; open-loop runs
+// can record millions of operations, and percentile memory must not grow
+// with them.
+const reservoirCap = 1 << 16
+
+// reservoir keeps an exact count and sum plus a bounded uniform sample,
+// giving exact mean/throughput and sampled percentiles in fixed memory.
+type reservoir struct {
+	count   int64
+	sum     time.Duration
+	samples []time.Duration
+	rng     *rand.Rand
+}
+
+func (r *reservoir) add(d time.Duration) {
+	r.count++
+	r.sum += d
+	if len(r.samples) < reservoirCap {
+		r.samples = append(r.samples, d)
+		return
+	}
+	if r.rng == nil {
+		r.rng = rand.New(rand.NewSource(r.count))
+	}
+	if i := r.rng.Int63n(r.count); i < reservoirCap {
+		r.samples[i] = d
+	}
+}
+
+func (r *reservoir) mean() time.Duration {
+	if r.count == 0 {
+		return 0
+	}
+	return r.sum / time.Duration(r.count)
 }
 
 // collector accumulates latencies per worker without contention.
 type collector struct {
-	mu        sync.Mutex
-	latencies []time.Duration
-	aborts    int64
-	round1    []time.Duration
-	round2    []time.Duration
+	mu     sync.Mutex
+	all    reservoir
+	aborts int64
+	round1 reservoir
+	round2 reservoir
 }
 
 func (c *collector) add(d time.Duration, rounds int) {
 	c.mu.Lock()
-	c.latencies = append(c.latencies, d)
+	c.all.add(d)
 	switch rounds {
 	case 1:
-		c.round1 = append(c.round1, d)
+		c.round1.add(d)
 	case 0:
 	default:
-		c.round2 = append(c.round2, d)
+		c.round2.add(d)
 	}
 	c.mu.Unlock()
 }
@@ -223,33 +293,19 @@ func (c *collector) abort() { atomic.AddInt64(&c.aborts, 1) }
 func (c *collector) stats(window time.Duration) Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	s := Stats{Count: int64(len(c.latencies)), Aborts: atomic.LoadInt64(&c.aborts)}
-	if len(c.latencies) == 0 {
+	s := Stats{Count: c.all.count, Aborts: atomic.LoadInt64(&c.aborts)}
+	if c.all.count == 0 {
 		return s
 	}
-	sorted := append([]time.Duration(nil), c.latencies...)
+	sorted := append([]time.Duration(nil), c.all.samples...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	var sum time.Duration
-	for _, d := range sorted {
-		sum += d
-	}
-	s.Mean = sum / time.Duration(len(sorted))
+	s.Mean = c.all.mean()
 	s.P50 = sorted[len(sorted)*50/100]
 	s.P95 = sorted[len(sorted)*95/100]
 	s.P99 = sorted[len(sorted)*99/100]
-	s.Throughput = float64(len(sorted)) / window.Seconds()
+	s.P999 = sorted[len(sorted)*999/1000]
+	s.Throughput = float64(c.all.count) / window.Seconds()
 	return s
-}
-
-func mean(ds []time.Duration) time.Duration {
-	if len(ds) == 0 {
-		return 0
-	}
-	var sum time.Duration
-	for _, d := range ds {
-		sum += d
-	}
-	return sum / time.Duration(len(ds))
 }
 
 // pickROKeys draws one read-only transaction's key set: the configured
@@ -340,15 +396,30 @@ func runTransEdgeLike(cfg Config) Result {
 		WALSyncInterval:      cfg.WALSyncInterval,
 		IntraLatency:         cfg.IntraLatency,
 		InterLatency:         cfg.InterLatency,
+		DisableMultiProofRO:  cfg.DisableMultiProofRO,
 		InitialData:          gen.InitialData(),
 	})
 	sys.Start()
+	// Hash ops from here on are verification work plus any server-side
+	// tree rebuilding; for read-only workloads the delta is pure verify
+	// cost (genesis tree construction is excluded by sampling post-Start).
+	hashOps0 := merkle.HashOps()
 
+	var (
+		clientMu   sync.Mutex
+		allClients []*client.Client
+	)
 	newClient := func(id uint32) *client.Client {
-		return client.New(client.Config{
+		c := client.New(client.Config{
 			ID: id, Net: sys.Net, Ring: sys.Ring, Part: sys.Part,
 			Clusters: cfg.Clusters, Timeout: 30 * time.Second, Seed: cfg.Seed,
+			DisableRootCache:  cfg.DisableRootCache,
+			MeasureProofBytes: cfg.MeasureProofBytes,
 		})
+		clientMu.Lock()
+		allClients = append(allClients, c)
+		clientMu.Unlock()
+		return c
 	}
 
 	var (
@@ -396,12 +467,58 @@ func runTransEdgeLike(cfg Config) Result {
 			g := workload.New(workload.Config{
 				Keys: cfg.Keys, ValueSize: cfg.ValueSize, Clusters: cfg.Clusters,
 				Seed: cfg.Seed + int64(w)*31, ROClusters: cfg.ROClusters, ROPerCluster: cfg.ROPerCluster,
+				ZipfS: cfg.ZipfS,
 			})
 			for !stop.Load() {
 				if !roOnce(c, ro2pc, g) {
 					return
 				}
 			}
+		}(w)
+	}
+
+	// Open-loop session clients: each issues verified session reads on a
+	// Poisson arrival schedule, decoupled from completions. A bounded
+	// in-flight window keeps a stalled system from spawning unbounded
+	// goroutines; requests past the window queue, and their wait counts —
+	// latency runs from the SCHEDULED arrival, so overload shows up as
+	// tail inflation instead of silently throttling the offered load.
+	for w := 0; w < cfg.OpenLoopClients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess := newClient(uint32(400 + w)).NewSession()
+			g := workload.New(workload.Config{
+				Keys: cfg.Keys, ValueSize: cfg.ValueSize, Clusters: cfg.Clusters,
+				Seed: cfg.Seed + int64(w)*37, ROClusters: cfg.ROClusters, ROPerCluster: cfg.ROPerCluster,
+				ZipfS: cfg.ZipfS,
+			})
+			var inflight sync.WaitGroup
+			window := make(chan struct{}, 256)
+			next := time.Now()
+			for !stop.Load() {
+				next = next.Add(g.NextArrival(cfg.ArrivalRate))
+				if d := time.Until(next); d > 0 {
+					time.Sleep(d)
+				}
+				keys := pickROKeys(g, cfg.ROScanSize)
+				arrival := next
+				window <- struct{}{}
+				inflight.Add(1)
+				go func() {
+					defer inflight.Done()
+					res, err := sess.ReadOnly(keys)
+					<-window
+					if err != nil {
+						if !stop.Load() {
+							roCol.abort()
+						}
+						return
+					}
+					roCol.add(time.Since(arrival), res.Rounds)
+				}()
+			}
+			inflight.Wait()
 		}(w)
 	}
 
@@ -416,6 +533,7 @@ func runTransEdgeLike(cfg Config) Result {
 				Seed: cfg.Seed + int64(w)*17, ReadOps: asWorkloadOps(cfg.ReadOps),
 				WriteOps:      asWorkloadOps(cfg.WriteOps),
 				LocalFraction: cfg.LocalFraction,
+				ZipfS:         cfg.ZipfS,
 			})
 			for !stop.Load() {
 				runRW(c, g, &rwCol)
@@ -438,6 +556,7 @@ func runTransEdgeLike(cfg Config) Result {
 				LocalFraction: cfg.LocalFraction,
 				ROClusters:    cfg.ROClusters, ROPerCluster: cfg.ROPerCluster,
 				ROFraction: cfg.ROFraction,
+				ZipfS:      cfg.ZipfS,
 			})
 			for !stop.Load() {
 				if g.NextIsRO() {
@@ -454,6 +573,7 @@ func runTransEdgeLike(cfg Config) Result {
 	time.Sleep(cfg.Duration)
 	stop.Store(true)
 	wg.Wait()
+	hashDelta := merkle.HashOps() - hashOps0
 
 	res := Result{
 		RO:     roCol.stats(cfg.Duration),
@@ -464,12 +584,27 @@ func runTransEdgeLike(cfg Config) Result {
 	// the ordering matters) before collecting per-replica state.
 	sys.Stop()
 	res.MaxLogLen = maxLogLen(sys)
-	res.Round1Mean = mean(roCol.round1)
-	if n := len(roCol.round2); n > 0 {
-		res.Round2Frac = float64(n) / float64(len(roCol.round1)+n)
-		if extra := mean(roCol.round2) - res.Round1Mean; extra > 0 {
+	res.Round1Mean = roCol.round1.mean()
+	if n := roCol.round2.count; n > 0 {
+		res.Round2Frac = float64(n) / float64(roCol.round1.count+n)
+		if extra := roCol.round2.mean() - res.Round1Mean; extra > 0 {
 			res.Round2Extra = extra
 		}
+	}
+	var proofReqs, proofBytes int64
+	clientMu.Lock()
+	for _, c := range allClients {
+		r, b := c.ProofStats()
+		proofReqs += r
+		proofBytes += b
+		res.CertVerifications += c.CertVerifications()
+	}
+	clientMu.Unlock()
+	if proofReqs > 0 {
+		res.ProofBytesPerReq = float64(proofBytes) / float64(proofReqs)
+	}
+	if res.RO.Count > 0 {
+		res.VerifyHashesPerReq = float64(hashDelta) / float64(res.RO.Count)
 	}
 	return res
 }

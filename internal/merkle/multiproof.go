@@ -1,0 +1,313 @@
+package merkle
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MultiProof is a compact proof for N keys in one tree version: the union
+// of the keys' lookup paths, pruned — every subtree no path enters is
+// replaced by its single hash, so a sibling shared by several paths is
+// shipped (and re-hashed by the verifier) once instead of once per key.
+// Membership and absence are co-proved by the same structure: the proof
+// pins the full pruned shape of the certified tree along every path, so a
+// key either terminates at its own leaf (membership) or at the leaf the
+// canonical trie forces its bits to (absence).
+//
+// The proof is a preorder flattening. Leaves holding a REQUESTED key carry
+// no digests at all (MultiLeafRef): the verifier recomputes the leaf hash
+// from the raw key and served value, which is what binds the answer to the
+// certified root. Leaves off the requested set (absence terminals) ship
+// their key and value hashes like AbsenceProof does.
+type MultiProof struct {
+	Nodes []MultiNode
+}
+
+// MultiNode kinds. An inner node on ≥1 lookup path is materialized; when
+// only one of its children is entered, the other is pruned to its hash and
+// packed into the same node, so a single-key path costs exactly one
+// (bit, sibling) pair per level — the same as a ProofStep.
+const (
+	// MultiInner: both children are entered; they follow in preorder,
+	// left then right. Bit is valid.
+	MultiInner uint8 = 1
+	// MultiPrunedLeft: the left child is pruned to Sibling; the right
+	// child follows. Bit is valid.
+	MultiPrunedLeft uint8 = 2
+	// MultiPrunedRight: the right child is pruned to Sibling; the left
+	// child follows. Bit is valid.
+	MultiPrunedRight uint8 = 3
+	// MultiLeafRef: a leaf holding one of the requested keys. No payload;
+	// the verifier resolves its hashes from the served answer.
+	MultiLeafRef uint8 = 4
+	// MultiLeafOther: a leaf holding an unrequested key (an absence
+	// terminal). KeyHash/ValHash are valid.
+	MultiLeafOther uint8 = 5
+)
+
+// MultiNode is one node of the flattened pruned subtree. Which fields are
+// meaningful depends on Kind (see the kind constants).
+type MultiNode struct {
+	Kind    uint8
+	Bit     int16
+	Sibling Digest
+	KeyHash Digest
+	ValHash Digest
+}
+
+// ErrNoKeys is returned by ProveMulti for an empty key set.
+var ErrNoKeys = errors.New("merkle: multi-proof over zero keys")
+
+// ProveMulti produces one MultiProof covering every key (duplicates
+// collapse). No hashing happens here: the proof collects hashes the tree
+// already holds. The empty tree yields an empty proof — EmptyRoot is
+// well known, so the proof that nothing is present is the root itself.
+func (t *Tree) ProveMulti(keys [][]byte) (MultiProof, error) {
+	if len(keys) == 0 {
+		return MultiProof{}, ErrNoKeys
+	}
+	if t.root == nil {
+		return MultiProof{}, nil
+	}
+	khs := make([]Digest, 0, len(keys))
+	requested := make(map[Digest]bool, len(keys))
+	for _, k := range keys {
+		kh := HashKey(k)
+		if !requested[kh] {
+			requested[kh] = true
+			khs = append(khs, kh)
+		}
+	}
+	nodes := make([]MultiNode, 0, 2*len(khs))
+	var rec func(n *node, reach []Digest)
+	rec = func(n *node, reach []Digest) {
+		if n.bit < 0 {
+			if requested[n.keyHash] {
+				nodes = append(nodes, MultiNode{Kind: MultiLeafRef})
+			} else {
+				nodes = append(nodes, MultiNode{Kind: MultiLeafOther, KeyHash: n.keyHash, ValHash: n.valHash})
+			}
+			return
+		}
+		// Partition the reaching keys by this node's crit bit. Unlike
+		// ApplyBulk's splitAt, absent keys routed through the node need
+		// not share the subtree's prefix, so partition by the bit itself.
+		var zeros, ones []Digest
+		for _, kh := range reach {
+			if bitAt(kh, int(n.bit)) == 0 {
+				zeros = append(zeros, kh)
+			} else {
+				ones = append(ones, kh)
+			}
+		}
+		switch {
+		case len(ones) == 0:
+			nodes = append(nodes, MultiNode{Kind: MultiPrunedRight, Bit: n.bit, Sibling: n.right.hash})
+			rec(n.left, zeros)
+		case len(zeros) == 0:
+			nodes = append(nodes, MultiNode{Kind: MultiPrunedLeft, Bit: n.bit, Sibling: n.left.hash})
+			rec(n.right, ones)
+		default:
+			nodes = append(nodes, MultiNode{Kind: MultiInner, Bit: n.bit})
+			rec(n.left, zeros)
+			rec(n.right, ones)
+		}
+	}
+	rec(t.root, khs)
+	return MultiProof{Nodes: nodes}, nil
+}
+
+// KeyAnswer is one key's claimed outcome, as served: the raw key, the
+// value (meaningful when Found), and whether the key exists in the
+// snapshot. VerifyMulti checks every answer against one proof.
+type KeyAnswer struct {
+	Key   []byte
+	Value []byte
+	Found bool
+}
+
+// mpNode is the parsed form of a MultiProof during verification.
+type mpNode struct {
+	bit         int16
+	pruned      bool
+	leaf        bool
+	ref         bool // leaf bound to a requested key; hashes resolved from answers
+	assigned    bool
+	hash        Digest
+	keyHash     Digest
+	valHash     Digest
+	left, right *mpNode
+}
+
+// VerifyMulti checks that proof authenticates every answer under root.
+// Structure first: the flattened nodes must parse to exactly one tree with
+// strictly increasing crit-bit indices root-to-leaf (the invariant that
+// stops subtree splicing, as in VerifyProof). Then each answer walks the
+// parsed tree by its key's bits; entering a pruned subtree is a
+// verification failure (the proof does not cover that key). Found answers
+// bind their key/value hashes to the leaf they land on; absent answers
+// must land on a leaf holding a different key. Finally the pruned tree is
+// folded bottom-up — each materialized node hashed exactly once — and
+// compared against the certified root.
+func VerifyMulti(root Digest, answers []KeyAnswer, proof MultiProof) error {
+	if len(proof.Nodes) == 0 {
+		// Only the empty tree is proven by an empty proof.
+		if root != EmptyRoot {
+			return fmt.Errorf("%w: empty multi-proof for non-empty root", ErrProofShape)
+		}
+		for _, a := range answers {
+			if a.Found {
+				return fmt.Errorf("%w: membership of %q claimed in empty tree", ErrBadProof, a.Key)
+			}
+		}
+		return nil
+	}
+	top, rest, err := parseMulti(proof.Nodes, 0)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d trailing nodes", ErrProofShape, len(rest))
+	}
+	// Resolve leaves from the answers: Found answers assign hashes to the
+	// ref leaves they land on; absent answers are checked afterwards so a
+	// later assignment cannot retroactively invalidate them.
+	for _, a := range answers {
+		if !a.Found {
+			continue
+		}
+		kh := HashKey(a.Key)
+		leaf := walkMulti(top, kh)
+		if leaf == nil {
+			return fmt.Errorf("%w: path for key %q pruned from proof", ErrBadProof, a.Key)
+		}
+		vh := HashValue(a.Value)
+		if !leaf.ref {
+			// A leaf shipped with explicit hashes can still prove
+			// membership — but only of exactly this binding.
+			if leaf.keyHash != kh || leaf.valHash != vh {
+				return fmt.Errorf("%w: leaf does not bind %q to the served value", ErrBadProof, a.Key)
+			}
+			continue
+		}
+		if leaf.assigned && (leaf.keyHash != kh || leaf.valHash != vh) {
+			return fmt.Errorf("%w: one leaf claimed for two bindings", ErrBadProof)
+		}
+		leaf.assigned = true
+		leaf.keyHash, leaf.valHash = kh, vh
+	}
+	for _, a := range answers {
+		if a.Found {
+			continue
+		}
+		kh := HashKey(a.Key)
+		leaf := walkMulti(top, kh)
+		if leaf == nil {
+			return fmt.Errorf("%w: path for key %q pruned from proof", ErrBadProof, a.Key)
+		}
+		if leaf.ref && !leaf.assigned {
+			// An unresolved ref leaf has no hashes to fold; the server
+			// must ship absence terminals as MultiLeafOther.
+			return fmt.Errorf("%w: absence of %q rests on an unresolved leaf", ErrProofShape, a.Key)
+		}
+		if leaf.keyHash == kh {
+			return fmt.Errorf("%w: terminal leaf holds %q itself", ErrBadProof, a.Key)
+		}
+	}
+	h, err := foldMulti(top)
+	if err != nil {
+		return err
+	}
+	if h != root {
+		return ErrBadProof
+	}
+	return nil
+}
+
+// parseMulti consumes one subtree from the flattened preorder, enforcing
+// kind validity and strictly increasing crit-bit indices (minBit). It
+// returns the parsed subtree and the unconsumed tail.
+func parseMulti(nodes []MultiNode, minBit int16) (*mpNode, []MultiNode, error) {
+	if len(nodes) == 0 {
+		return nil, nil, fmt.Errorf("%w: truncated multi-proof", ErrProofShape)
+	}
+	nd := nodes[0]
+	rest := nodes[1:]
+	switch nd.Kind {
+	case MultiLeafRef:
+		return &mpNode{bit: -1, leaf: true, ref: true}, rest, nil
+	case MultiLeafOther:
+		return &mpNode{bit: -1, leaf: true, keyHash: nd.KeyHash, valHash: nd.ValHash}, rest, nil
+	case MultiInner, MultiPrunedLeft, MultiPrunedRight:
+		if nd.Bit < minBit || nd.Bit >= numBits {
+			return nil, nil, fmt.Errorf("%w: crit bit %d out of order", ErrProofShape, nd.Bit)
+		}
+		n := &mpNode{bit: nd.Bit}
+		var err error
+		switch nd.Kind {
+		case MultiInner:
+			if n.left, rest, err = parseMulti(rest, nd.Bit+1); err != nil {
+				return nil, nil, err
+			}
+			if n.right, rest, err = parseMulti(rest, nd.Bit+1); err != nil {
+				return nil, nil, err
+			}
+		case MultiPrunedLeft:
+			n.left = &mpNode{bit: -1, pruned: true, hash: nd.Sibling}
+			if n.right, rest, err = parseMulti(rest, nd.Bit+1); err != nil {
+				return nil, nil, err
+			}
+		case MultiPrunedRight:
+			n.right = &mpNode{bit: -1, pruned: true, hash: nd.Sibling}
+			if n.left, rest, err = parseMulti(rest, nd.Bit+1); err != nil {
+				return nil, nil, err
+			}
+		}
+		return n, rest, nil
+	default:
+		return nil, nil, fmt.Errorf("%w: unknown node kind %d", ErrProofShape, nd.Kind)
+	}
+}
+
+// walkMulti descends by the key hash's bits to the terminal node, or nil
+// when the path enters a pruned subtree.
+func walkMulti(n *mpNode, kh Digest) *mpNode {
+	for !n.leaf {
+		if n.pruned {
+			return nil
+		}
+		if bitAt(kh, int(n.bit)) == 0 {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n
+}
+
+// foldMulti computes the subtree hash bottom-up; every materialized node
+// is hashed exactly once (via leafHash/innerHash, so HashOps counts the
+// verification work).
+func foldMulti(n *mpNode) (Digest, error) {
+	if n.pruned {
+		return n.hash, nil
+	}
+	if n.leaf {
+		if n.ref && !n.assigned {
+			// Shape error, not a hash mismatch: the server shipped a leaf
+			// it claimed was a requested key's, but no served answer
+			// resolves it.
+			return Digest{}, fmt.Errorf("%w: unresolved leaf in multi-proof", ErrProofShape)
+		}
+		return leafHash(n.keyHash, n.valHash), nil
+	}
+	l, err := foldMulti(n.left)
+	if err != nil {
+		return Digest{}, err
+	}
+	r, err := foldMulti(n.right)
+	if err != nil {
+		return Digest{}, err
+	}
+	return innerHash(n.bit, l, r), nil
+}

@@ -1,0 +1,471 @@
+package merkle
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// buildTestTree returns a tree with n deterministic keys and the key list.
+func buildTestTree(n int, seed int64) (*Tree, [][]byte) {
+	rng := rand.New(rand.NewSource(seed))
+	t := New()
+	keys := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key-%06d-%d", i, rng.Intn(1000)))
+		keys = append(keys, k)
+		t = t.Insert(k, HashValue([]byte(fmt.Sprintf("val-%d", i))))
+	}
+	return t, keys
+}
+
+// valueFor reproduces buildTestTree's value binding for key index i.
+func valueFor(i int) []byte { return []byte(fmt.Sprintf("val-%d", i)) }
+
+// answersFor builds the honest answers for a query set against a tree
+// built by buildTestTree, given the present-key index map.
+func answersFor(tr *Tree, query [][]byte, valueOf map[string][]byte) []KeyAnswer {
+	out := make([]KeyAnswer, 0, len(query))
+	for _, k := range query {
+		if v, ok := valueOf[string(k)]; ok {
+			if _, present := tr.Get(k); present {
+				out = append(out, KeyAnswer{Key: k, Value: v, Found: true})
+				continue
+			}
+		}
+		out = append(out, KeyAnswer{Key: k, Found: false})
+	}
+	return out
+}
+
+func TestMultiProofEquivalenceWithSingleProofs(t *testing.T) {
+	tr, keys := buildTestTree(500, 1)
+	valueOf := make(map[string][]byte, len(keys))
+	for i, k := range keys {
+		valueOf[string(k)] = valueFor(i)
+	}
+	rng := rand.New(rand.NewSource(2))
+	root := tr.Root()
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(20)
+		query := make([][]byte, 0, n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(4) == 0 {
+				query = append(query, []byte(fmt.Sprintf("absent-%d-%d", trial, i)))
+			} else {
+				query = append(query, keys[rng.Intn(len(keys))])
+			}
+		}
+		mp, err := tr.ProveMulti(query)
+		if err != nil {
+			t.Fatalf("ProveMulti: %v", err)
+		}
+		answers := answersFor(tr, query, valueOf)
+		if err := VerifyMulti(root, answers, mp); err != nil {
+			t.Fatalf("VerifyMulti trial %d: %v", trial, err)
+		}
+		// Per-key equivalence: every answer the multi-proof certifies is
+		// exactly what Prove/ProveAbsent certify.
+		for _, a := range answers {
+			if a.Found {
+				p, vh, err := tr.Prove(a.Key)
+				if err != nil {
+					t.Fatalf("Prove(%q): %v", a.Key, err)
+				}
+				if vh != HashValue(a.Value) {
+					t.Fatalf("value hash mismatch for %q", a.Key)
+				}
+				if err := VerifyProof(root, a.Key, a.Value, p); err != nil {
+					t.Fatalf("VerifyProof(%q): %v", a.Key, err)
+				}
+			} else {
+				ap, err := tr.ProveAbsent(a.Key)
+				if err != nil {
+					t.Fatalf("ProveAbsent(%q): %v", a.Key, err)
+				}
+				if err := VerifyAbsence(root, a.Key, ap); err != nil {
+					t.Fatalf("VerifyAbsence(%q): %v", a.Key, err)
+				}
+			}
+		}
+	}
+}
+
+// TestMultiProofHashCountProperty: verifying a multi-proof hashes at most
+// as many nodes as verifying N independent proofs, and strictly fewer for
+// two or more distinct keys (the shared root is hashed once, not N times).
+func TestMultiProofHashCountProperty(t *testing.T) {
+	tr, keys := buildTestTree(1000, 3)
+	valueOf := make(map[string][]byte, len(keys))
+	for i, k := range keys {
+		valueOf[string(k)] = valueFor(i)
+	}
+	root := tr.Root()
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(30)
+		seen := map[string]bool{}
+		query := make([][]byte, 0, n)
+		for len(query) < n {
+			var k []byte
+			if rng.Intn(5) == 0 {
+				k = []byte(fmt.Sprintf("absent-%d-%d", trial, len(query)))
+			} else {
+				k = keys[rng.Intn(len(keys))]
+			}
+			if !seen[string(k)] {
+				seen[string(k)] = true
+				query = append(query, k)
+			}
+		}
+		answers := answersFor(tr, query, valueOf)
+		mp, err := tr.ProveMulti(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		start := HashOps()
+		if err := VerifyMulti(root, answers, mp); err != nil {
+			t.Fatal(err)
+		}
+		multiHashes := HashOps() - start
+
+		start = HashOps()
+		for _, a := range answers {
+			if a.Found {
+				p, _, _ := tr.Prove(a.Key)
+				if err := VerifyProof(root, a.Key, a.Value, p); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				ap, _ := tr.ProveAbsent(a.Key)
+				if err := VerifyAbsence(root, a.Key, ap); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		singleHashes := HashOps() - start
+
+		if multiHashes > singleHashes {
+			t.Fatalf("n=%d: multi-proof hashed %d nodes, independent proofs %d", n, multiHashes, singleHashes)
+		}
+		if n >= 2 && multiHashes >= singleHashes {
+			t.Fatalf("n=%d: expected strictly fewer hashes, got %d vs %d", n, multiHashes, singleHashes)
+		}
+	}
+}
+
+func TestMultiProofMixedMembershipAbsence(t *testing.T) {
+	tr, keys := buildTestTree(64, 5)
+	valueOf := make(map[string][]byte, len(keys))
+	for i, k := range keys {
+		valueOf[string(k)] = valueFor(i)
+	}
+	root := tr.Root()
+	query := [][]byte{keys[0], []byte("nope-1"), keys[10], []byte("nope-2"), keys[63]}
+	mp, err := tr.ProveMulti(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers := answersFor(tr, query, valueOf)
+	if err := VerifyMulti(root, answers, mp); err != nil {
+		t.Fatalf("mixed proof rejected: %v", err)
+	}
+	// Both kinds of leaves must be present: refs for the three present
+	// keys, others as absence terminals.
+	var refs, others int
+	for _, nd := range mp.Nodes {
+		switch nd.Kind {
+		case MultiLeafRef:
+			refs++
+		case MultiLeafOther:
+			others++
+		}
+	}
+	if refs != 3 {
+		t.Fatalf("expected 3 ref leaves, got %d", refs)
+	}
+	if others == 0 {
+		t.Fatal("expected at least one absence-terminal leaf")
+	}
+}
+
+func TestMultiProofTamperRejection(t *testing.T) {
+	tr, keys := buildTestTree(128, 6)
+	valueOf := make(map[string][]byte, len(keys))
+	for i, k := range keys {
+		valueOf[string(k)] = valueFor(i)
+	}
+	root := tr.Root()
+	query := [][]byte{keys[1], keys[2], []byte("missing-a"), keys[70]}
+	mp, err := tr.ProveMulti(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	honest := answersFor(tr, query, valueOf)
+	if err := VerifyMulti(root, honest, mp); err != nil {
+		t.Fatalf("honest proof rejected: %v", err)
+	}
+	clone := func() MultiProof {
+		return MultiProof{Nodes: append([]MultiNode(nil), mp.Nodes...)}
+	}
+
+	t.Run("swapped sibling", func(t *testing.T) {
+		p := clone()
+		// Swap the first two pruned sibling hashes.
+		var idx []int
+		for i, nd := range p.Nodes {
+			if nd.Kind == MultiPrunedLeft || nd.Kind == MultiPrunedRight {
+				idx = append(idx, i)
+			}
+		}
+		if len(idx) < 2 {
+			t.Skip("proof has fewer than two pruned siblings")
+		}
+		p.Nodes[idx[0]].Sibling, p.Nodes[idx[1]].Sibling = p.Nodes[idx[1]].Sibling, p.Nodes[idx[0]].Sibling
+		if err := VerifyMulti(root, honest, p); err == nil {
+			t.Fatal("swapped siblings accepted")
+		}
+	})
+
+	t.Run("corrupt sibling", func(t *testing.T) {
+		p := clone()
+		for i := range p.Nodes {
+			if p.Nodes[i].Kind == MultiPrunedLeft || p.Nodes[i].Kind == MultiPrunedRight {
+				p.Nodes[i].Sibling[0] ^= 0xff
+				break
+			}
+		}
+		if err := VerifyMulti(root, honest, p); err == nil {
+			t.Fatal("corrupted sibling accepted")
+		}
+	})
+
+	t.Run("truncated", func(t *testing.T) {
+		p := clone()
+		p.Nodes = p.Nodes[:len(p.Nodes)-1]
+		if err := VerifyMulti(root, honest, p); !errors.Is(err, ErrProofShape) {
+			t.Fatalf("truncated proof: got %v", err)
+		}
+	})
+
+	t.Run("trailing nodes", func(t *testing.T) {
+		p := clone()
+		p.Nodes = append(p.Nodes, MultiNode{Kind: MultiLeafRef})
+		if err := VerifyMulti(root, honest, p); !errors.Is(err, ErrProofShape) {
+			t.Fatalf("trailing node: got %v", err)
+		}
+	})
+
+	t.Run("dropped key (hidden membership)", func(t *testing.T) {
+		// The server claims a present key is absent. Its leaf is a ref
+		// leaf in the proof, which no Found answer then resolves.
+		lying := append([]KeyAnswer(nil), honest...)
+		for i := range lying {
+			if string(lying[i].Key) == string(keys[1]) {
+				lying[i] = KeyAnswer{Key: lying[i].Key, Found: false}
+			}
+		}
+		if err := VerifyMulti(root, lying, mp); err == nil {
+			t.Fatal("hidden membership accepted")
+		}
+	})
+
+	t.Run("forged absence as membership", func(t *testing.T) {
+		// The server claims an absent key is present with some value.
+		lying := append([]KeyAnswer(nil), honest...)
+		for i := range lying {
+			if !lying[i].Found {
+				lying[i] = KeyAnswer{Key: lying[i].Key, Value: []byte("forged"), Found: true}
+			}
+		}
+		if err := VerifyMulti(root, lying, mp); err == nil {
+			t.Fatal("forged membership accepted")
+		}
+	})
+
+	t.Run("wrong value", func(t *testing.T) {
+		lying := append([]KeyAnswer(nil), honest...)
+		for i := range lying {
+			if lying[i].Found {
+				lying[i].Value = []byte("tampered")
+				break
+			}
+		}
+		if err := VerifyMulti(root, lying, mp); err == nil {
+			t.Fatal("tampered value accepted")
+		}
+	})
+
+	t.Run("bit order violation", func(t *testing.T) {
+		p := clone()
+		// Force a child's crit bit at or below its parent's.
+		var parent int16 = -1
+		for i := range p.Nodes {
+			k := p.Nodes[i].Kind
+			if k == MultiInner || k == MultiPrunedLeft || k == MultiPrunedRight {
+				if parent >= 0 {
+					p.Nodes[i].Bit = parent
+					break
+				}
+				parent = p.Nodes[i].Bit
+			}
+		}
+		if parent < 0 {
+			t.Skip("no nested inner nodes")
+		}
+		if err := VerifyMulti(root, honest, p); err == nil {
+			t.Fatal("non-increasing crit bits accepted")
+		}
+	})
+
+	t.Run("wrong root", func(t *testing.T) {
+		other := tr.Insert([]byte("one-more"), HashValue([]byte("v")))
+		if err := VerifyMulti(other.Root(), honest, mp); !errors.Is(err, ErrBadProof) {
+			t.Fatalf("wrong root: got %v", err)
+		}
+	})
+}
+
+func TestMultiProofEmptyAndTinyTrees(t *testing.T) {
+	// Empty tree: the empty proof certifies any absence set.
+	mp, err := New().ProveMulti([][]byte{[]byte("a"), []byte("b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers := []KeyAnswer{{Key: []byte("a")}, {Key: []byte("b")}}
+	if err := VerifyMulti(EmptyRoot, answers, mp); err != nil {
+		t.Fatalf("empty-tree absence rejected: %v", err)
+	}
+	if err := VerifyMulti(EmptyRoot, []KeyAnswer{{Key: []byte("a"), Value: []byte("v"), Found: true}}, mp); err == nil {
+		t.Fatal("membership in empty tree accepted")
+	}
+	// An empty proof must not verify against a non-empty root.
+	one := New().Insert([]byte("a"), HashValue([]byte("v")))
+	if err := VerifyMulti(one.Root(), answers, mp); !errors.Is(err, ErrProofShape) {
+		t.Fatalf("empty proof for non-empty root: got %v", err)
+	}
+
+	// Single-leaf tree, membership and absence.
+	mp, err = one.ProveMulti([][]byte{[]byte("a"), []byte("b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := []KeyAnswer{
+		{Key: []byte("a"), Value: []byte("v"), Found: true},
+		{Key: []byte("b")},
+	}
+	if err := VerifyMulti(one.Root(), got, mp); err != nil {
+		t.Fatalf("single-leaf proof rejected: %v", err)
+	}
+
+	// Zero keys is an explicit error.
+	if _, err := one.ProveMulti(nil); !errors.Is(err, ErrNoKeys) {
+		t.Fatalf("zero keys: got %v", err)
+	}
+}
+
+func TestMultiProofDuplicateKeysCollapse(t *testing.T) {
+	tr, keys := buildTestTree(32, 7)
+	query := [][]byte{keys[3], keys[3], keys[3]}
+	mp, err := tr.ProveMulti(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers := []KeyAnswer{
+		{Key: keys[3], Value: valueFor(3), Found: true},
+		{Key: keys[3], Value: valueFor(3), Found: true},
+	}
+	if err := VerifyMulti(tr.Root(), answers, mp); err != nil {
+		t.Fatalf("duplicate keys rejected: %v", err)
+	}
+	// Same key claimed with two different values must conflict.
+	answers[1].Value = []byte("different")
+	if err := VerifyMulti(tr.Root(), answers, mp); err == nil {
+		t.Fatal("conflicting duplicate bindings accepted")
+	}
+}
+
+// FuzzMultiProofDifferential builds a deterministic tree and query set
+// from the fuzz input and checks that ProveMulti/VerifyMulti accept
+// exactly what per-key Prove/ProveAbsent + VerifyProof/VerifyAbsence
+// accept — the multi-proof is a compression of the single-proof relation,
+// never a relaxation.
+func FuzzMultiProofDifferential(f *testing.F) {
+	f.Add([]byte{5, 3, 0, 1, 2}, int64(1))
+	f.Add([]byte{0, 0}, int64(2))
+	f.Add([]byte{200, 199, 198, 7, 7, 7}, int64(3))
+	f.Fuzz(func(t *testing.T, sel []byte, seed int64) {
+		if len(sel) == 0 || len(sel) > 64 {
+			return
+		}
+		rng := rand.New(rand.NewSource(seed))
+		size := 1 + rng.Intn(200)
+		tr := New()
+		valueOf := make(map[string][]byte, size)
+		for i := 0; i < size; i++ {
+			k := fmt.Sprintf("fz-%d", i)
+			v := []byte(fmt.Sprintf("v-%d-%d", i, seed))
+			valueOf[k] = v
+			tr = tr.Insert([]byte(k), HashValue(v))
+		}
+		root := tr.Root()
+		// Each selector byte picks a key: < 208 → an existing key (mod
+		// size), else a fresh absent key.
+		query := make([][]byte, 0, len(sel))
+		for i, b := range sel {
+			if int(b) < 208 {
+				query = append(query, []byte(fmt.Sprintf("fz-%d", int(b)%size)))
+			} else {
+				query = append(query, []byte(fmt.Sprintf("absent-%d-%d", b, i)))
+			}
+		}
+		mp, err := tr.ProveMulti(query)
+		if err != nil {
+			t.Fatalf("ProveMulti: %v", err)
+		}
+		answers := make([]KeyAnswer, 0, len(query))
+		for _, k := range query {
+			if _, ok := tr.Get(k); ok {
+				answers = append(answers, KeyAnswer{Key: k, Value: valueOf[string(k)], Found: true})
+			} else {
+				answers = append(answers, KeyAnswer{Key: k, Found: false})
+			}
+		}
+		if err := VerifyMulti(root, answers, mp); err != nil {
+			t.Fatalf("honest multi-proof rejected: %v", err)
+		}
+		// Differential: per-key proofs agree on every verdict.
+		for _, a := range answers {
+			if a.Found {
+				p, vh, err := tr.Prove(a.Key)
+				if err != nil || vh != HashValue(a.Value) {
+					t.Fatalf("Prove disagrees for %q: %v", a.Key, err)
+				}
+				if err := VerifyProof(root, a.Key, a.Value, p); err != nil {
+					t.Fatalf("VerifyProof disagrees for %q: %v", a.Key, err)
+				}
+			} else {
+				ap, err := tr.ProveAbsent(a.Key)
+				if err != nil {
+					t.Fatalf("ProveAbsent disagrees for %q: %v", a.Key, err)
+				}
+				if err := VerifyAbsence(root, a.Key, ap); err != nil {
+					t.Fatalf("VerifyAbsence disagrees for %q: %v", a.Key, err)
+				}
+			}
+		}
+		// Flipping one answer's verdict must be rejected.
+		flipped := append([]KeyAnswer(nil), answers...)
+		i := rng.Intn(len(flipped))
+		if flipped[i].Found {
+			flipped[i] = KeyAnswer{Key: flipped[i].Key, Found: false}
+		} else {
+			flipped[i] = KeyAnswer{Key: flipped[i].Key, Value: []byte("forged"), Found: true}
+		}
+		if err := VerifyMulti(root, flipped, mp); err == nil {
+			t.Fatalf("flipped verdict for %q accepted", flipped[i].Key)
+		}
+	})
+}

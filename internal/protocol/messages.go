@@ -53,7 +53,13 @@ type ReadReply struct {
 type RORequest struct {
 	Keys    []string
 	AsOfLCE int64
-	ReplyTo chan ROReply
+	// MinBatch, when positive, is a session floor: the served snapshot
+	// must be at least this batch (monotonic reads / read-your-writes).
+	// The server parks the request until the floor commits locally; the
+	// client has evidence the batch exists (its own commit reply or a
+	// previously verified read), so an honest cluster always serves it.
+	MinBatch int64
+	ReplyTo  chan ROReply
 }
 
 // ROValue is one key's answer in a read-only reply: the value plus the
@@ -74,9 +80,13 @@ type ROReply struct {
 	Cluster int32
 	BatchID int64
 	Values  []ROValue
-	Header  BatchHeader
-	Cert    cryptoutil.Certificate
-	Err     string
+	// Multi, when set, co-proves every value (membership and absence) in
+	// one pruned-subtree proof; the per-key Proof/Absence fields of
+	// Values are then left empty. Nil restores the per-key proof path.
+	Multi  *merkle.MultiProof
+	Header BatchHeader
+	Cert   cryptoutil.Certificate
+	Err    string
 }
 
 // ---- Cluster to cluster (2PC over consensus, Sec. 3.3) ----

@@ -8,6 +8,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"transedge/internal/protocol"
 )
@@ -38,6 +39,12 @@ type Config struct {
 	// transaction rather than a read-write one. Zero means a worker
 	// never mixes (the harness's dedicated RO/RW worker pools ignore it).
 	ROFraction float64
+
+	// ZipfS, when > 1, skews key choice within each cluster by a zipfian
+	// of that exponent (s=1.1 is a typical YCSB hot-spot); 0 keeps the
+	// uniform draws. Each cluster ranks its own keys, so skew does not
+	// concentrate load on one cluster, only on hot keys within each.
+	ZipfS float64
 }
 
 func (c Config) withDefaults() Config {
@@ -87,6 +94,7 @@ type Generator struct {
 	part      protocol.Partitioner
 	rng       *rand.Rand
 	byCluster [][]string
+	zipf      []*rand.Zipf // per-cluster rank skew, nil when uniform
 	value     []byte
 }
 
@@ -107,6 +115,14 @@ func New(cfg Config) *Generator {
 	g.value = make([]byte, cfg.ValueSize)
 	for i := range g.value {
 		g.value[i] = byte('a' + i%26)
+	}
+	if cfg.ZipfS > 1 {
+		g.zipf = make([]*rand.Zipf, cfg.Clusters)
+		for c := range g.zipf {
+			if n := len(g.byCluster[c]); n > 0 {
+				g.zipf[c] = rand.NewZipf(g.rng, cfg.ZipfS, 1, uint64(n-1))
+			}
+		}
 	}
 	return g
 }
@@ -132,7 +148,10 @@ func (g *Generator) KeysOf(cluster int32) []string { return g.byCluster[cluster]
 // Value returns the fixed write payload.
 func (g *Generator) Value() []byte { return g.value }
 
-// pickFrom draws n distinct keys from one cluster's keyspace.
+// pickFrom draws n distinct keys from one cluster's keyspace — uniformly,
+// or zipfian-by-rank when ZipfS is set. A skewed draw that keeps hitting
+// already-chosen hot keys falls back to a uniform draw after a bounded
+// number of rejections, so distinctness never livelocks on a tiny pool.
 func (g *Generator) pickFrom(cluster int, n int) []string {
 	pool := g.byCluster[cluster]
 	if n > len(pool) {
@@ -140,14 +159,42 @@ func (g *Generator) pickFrom(cluster int, n int) []string {
 	}
 	out := make([]string, 0, n)
 	seen := make(map[int]bool, n)
+	rejections := 0
 	for len(out) < n {
-		i := g.rng.Intn(len(pool))
+		var i int
+		if z := g.zipfOf(cluster); z != nil && rejections < 8*n {
+			i = int(z.Uint64())
+		} else {
+			i = g.rng.Intn(len(pool))
+		}
 		if !seen[i] {
 			seen[i] = true
 			out = append(out, pool[i])
+		} else {
+			rejections++
 		}
 	}
 	return out
+}
+
+// zipfOf returns the cluster's skew source, nil for uniform draws.
+func (g *Generator) zipfOf(cluster int) *rand.Zipf {
+	if g.zipf == nil || cluster >= len(g.zipf) {
+		return nil
+	}
+	return g.zipf[cluster]
+}
+
+// NextArrival draws the next inter-arrival gap of an open-loop Poisson
+// request process with the given mean rate (requests/second). Open-loop
+// clients sleep this long between issuing requests regardless of how long
+// each request takes, which is what exposes queueing delay in tail
+// latencies — a closed loop self-clocks and hides it.
+func (g *Generator) NextArrival(ratePerSec float64) time.Duration {
+	if ratePerSec <= 0 {
+		return 0
+	}
+	return time.Duration(g.rng.ExpFloat64() / ratePerSec * float64(time.Second))
 }
 
 // NextRW generates a read-write transaction. Local transactions confine

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"testing"
+	"time"
 
 	"transedge/internal/protocol"
 )
@@ -209,5 +210,81 @@ func TestNextIsROCrossSeedDeterminism(t *testing.T) {
 	}
 	if !distinct {
 		t.Fatal("every seed produced the identical NextIsRO stream")
+	}
+}
+
+// TestZipfSkewConcentrates: with ZipfS set, a large sample of single-key
+// RO draws concentrates on a small head of each cluster's keyspace, while
+// the uniform generator spreads out; both remain deterministic per seed.
+func TestZipfSkewConcentrates(t *testing.T) {
+	sample := func(zipfS float64, seed int64) map[string]int {
+		g := New(Config{Keys: 2000, Clusters: 2, Seed: seed, ZipfS: zipfS, ROClusters: 1, ROPerCluster: 1})
+		counts := make(map[string]int)
+		for i := 0; i < 5000; i++ {
+			for _, k := range g.NextRO() {
+				counts[k]++
+			}
+		}
+		return counts
+	}
+	top := func(counts map[string]int) int {
+		max := 0
+		for _, c := range counts {
+			if c > max {
+				max = c
+			}
+		}
+		return max
+	}
+	skewed, uniform := sample(1.3, 7), sample(0, 7)
+	if ts, tu := top(skewed), top(uniform); ts < 10*tu {
+		t.Fatalf("zipf hottest key drawn %d times vs uniform %d — no meaningful skew", ts, tu)
+	}
+	if len(skewed) >= len(uniform) {
+		t.Fatalf("zipf touched %d distinct keys, uniform %d — expected concentration", len(skewed), len(uniform))
+	}
+	again := sample(1.3, 7)
+	for k, c := range skewed {
+		if again[k] != c {
+			t.Fatalf("skewed draw stream not deterministic for seed: key %q %d vs %d", k, c, again[k])
+		}
+	}
+}
+
+// TestZipfDrawsStayDistinct: skewed multi-key picks still return n
+// distinct keys, even from a pool barely larger than the request.
+func TestZipfDrawsStayDistinct(t *testing.T) {
+	g := New(Config{Keys: 24, Clusters: 2, Seed: 3, ZipfS: 1.5, ROClusters: 2, ROPerCluster: 8})
+	for trial := 0; trial < 50; trial++ {
+		keys := g.NextRO()
+		seen := make(map[string]bool, len(keys))
+		for _, k := range keys {
+			if seen[k] {
+				t.Fatalf("duplicate key %q in skewed draw", k)
+			}
+			seen[k] = true
+		}
+		if len(keys) != 16 {
+			t.Fatalf("drew %d keys, want 16", len(keys))
+		}
+	}
+}
+
+// TestNextArrivalMeanMatchesRate: the Poisson gaps average 1/rate.
+func TestNextArrivalMeanMatchesRate(t *testing.T) {
+	g := New(Config{Keys: 10, Clusters: 1, Seed: 9})
+	const rate = 200.0
+	var total time.Duration
+	const n = 20000
+	for i := 0; i < n; i++ {
+		total += g.NextArrival(rate)
+	}
+	mean := total / n
+	want := time.Duration(float64(time.Second) / rate)
+	if mean < want*8/10 || mean > want*12/10 {
+		t.Fatalf("mean inter-arrival %v, want about %v", mean, want)
+	}
+	if g.NextArrival(0) != 0 {
+		t.Fatal("zero rate must not sleep")
 	}
 }
