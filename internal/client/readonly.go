@@ -61,9 +61,18 @@ func (c *Client) ReadOnly(keys []string) (*ROResult, error) {
 // vector pulls a distributed commit's participants into the dependency
 // repair loop (the session read-your-writes closure).
 func (c *Client) readOnly(keys []string, floors map[int32]int64, contact []int32) (*ROResult, error) {
-	// Group keys per owning partition.
+	// Group keys per owning partition, deduplicating. Unique request sets
+	// are what make verifyRO's exactly-once coverage check sound: the
+	// server answers each requested key exactly once, so a reply that
+	// repeats one key to hide the omission of another cannot pass both
+	// the length check and the one-use key-set check.
 	byCluster := make(map[int32][]string)
+	requested := make(map[string]bool, len(keys))
 	for _, k := range keys {
+		if requested[k] {
+			continue
+		}
+		requested[k] = true
 		cl := c.cfg.Part.Of(k)
 		byCluster[cl] = append(byCluster[cl], k)
 	}
@@ -172,6 +181,12 @@ func (c *Client) awaitRO(cluster int32, keys []string, ch chan protocol.ROReply,
 // certified root, and optionally the freshness bound. A reply failing any
 // check is rejected — this is what makes a single untrusted node a
 // sufficient read quorum.
+//
+// Coverage is exactly-once: keys is duplicate-free (readOnly dedups), the
+// reply must carry len(keys) values, and each requested key may be used
+// at most once — so a byzantine server cannot repeat one validly-proven
+// answer to mask the omission of another key (which would otherwise read
+// back as a silent, unproven absence).
 func (c *Client) verifyRO(cluster int32, keys []string, r *protocol.ROReply, minBatch int64) (*roundReply, error) {
 	if r.Err != "" {
 		return nil, fmt.Errorf("%w: cluster %d: %s", ErrServer, cluster, r.Err)
@@ -204,9 +219,12 @@ func (c *Client) verifyRO(cluster int32, keys []string, r *protocol.ROReply, min
 	if len(r.Values) != len(keys) {
 		return nil, fmt.Errorf("%w: %d values for %d keys", ErrVerification, len(r.Values), len(keys))
 	}
-	seen := make(map[string]bool, len(keys))
+	// unused starts as the requested set; matching an answer consumes its
+	// key, so a duplicate (or unrequested) reply key is rejected, and with
+	// the length check above every requested key is answered and proven.
+	unused := make(map[string]bool, len(keys))
 	for _, k := range keys {
-		seen[k] = true
+		unused[k] = true
 	}
 	if r.Multi != nil {
 		// Multi-proof path: one pruned-subtree proof co-proves every key's
@@ -214,9 +232,10 @@ func (c *Client) verifyRO(cluster int32, keys []string, r *protocol.ROReply, min
 		answers := make([]merkle.KeyAnswer, len(r.Values))
 		for i := range r.Values {
 			v := &r.Values[i]
-			if !seen[v.Key] {
-				return nil, fmt.Errorf("%w: unrequested key %q in reply", ErrVerification, v.Key)
+			if !unused[v.Key] {
+				return nil, fmt.Errorf("%w: unrequested or duplicate key %q in reply", ErrVerification, v.Key)
 			}
+			delete(unused, v.Key)
 			answers[i] = merkle.KeyAnswer{Key: []byte(v.Key), Value: v.Value, Found: v.Found}
 		}
 		if err := merkle.VerifyMulti(r.Header.MerkleRoot, answers, *r.Multi); err != nil {
@@ -225,9 +244,10 @@ func (c *Client) verifyRO(cluster int32, keys []string, r *protocol.ROReply, min
 	} else {
 		for i := range r.Values {
 			v := &r.Values[i]
-			if !seen[v.Key] {
-				return nil, fmt.Errorf("%w: unrequested key %q in reply", ErrVerification, v.Key)
+			if !unused[v.Key] {
+				return nil, fmt.Errorf("%w: unrequested or duplicate key %q in reply", ErrVerification, v.Key)
 			}
+			delete(unused, v.Key)
 			if !v.Found {
 				// "Not found" must be proven too, or a byzantine server
 				// could hide keys.

@@ -23,6 +23,17 @@ import "sync"
 //     through the ordinary dependency-repair loop. The closure read at a
 //     cached verified root costs zero certificate verifications.
 //
+//     Closure contacts are dropped once obsolete, so one distributed
+//     commit does not tax every later session read forever: the first
+//     closure read at a coordinator batch covering the commit records
+//     the header's CD vector (CD entries are monotone over the log —
+//     audited — so it dominates the commit batch's own dependencies),
+//     and once the session has verified every such dependency covered by
+//     the owning cluster's LCE, the contact is removed. Coverage is
+//     durable within the session: the verifying read raised that
+//     cluster's floor, LCE is monotone over the log, so every later
+//     floored read serves an LCE at least as high.
+//
 // Floors only ever rise, and the client only pins batches it has direct
 // evidence of (its own verified replies and commit acknowledgments), so
 // an honest cluster always serves a pinned read. Staleness stays bounded
@@ -35,9 +46,21 @@ type Session struct {
 	// the cluster is consulted by a session read.
 	floors map[int32]int64
 	// closure marks coordinator clusters of distributed commits whose
-	// participants must be dependency-closed on every read; the value is
-	// the newest such commit batch.
-	closure map[int32]int64
+	// participants must be dependency-closed on every read, until every
+	// dependency of the commit batch is verified covered.
+	closure map[int32]*closureEntry
+}
+
+// closureEntry tracks one coordinator cluster's read-your-writes closure
+// obligation and the evidence collected toward retiring it.
+type closureEntry struct {
+	// batch is the newest distributed commit batch at this coordinator.
+	batch int64
+	// pending maps each cluster to the LCE it must reach before the
+	// closure contact can be dropped. nil until the first session read
+	// serves the coordinator at a batch >= batch; entries are deleted as
+	// verified headers cover them.
+	pending map[int32]int64
 }
 
 // NewSession opens a session over the client. Sessions are independent:
@@ -46,7 +69,7 @@ func (c *Client) NewSession() *Session {
 	return &Session{
 		c:       c,
 		floors:  make(map[int32]int64),
-		closure: make(map[int32]int64),
+		closure: make(map[int32]*closureEntry),
 	}
 }
 
@@ -59,6 +82,15 @@ func (s *Session) Floor(cluster int32) int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.floors[cluster]
+}
+
+// ClosureClusters reports how many coordinator clusters session reads
+// still consult for read-your-writes closure (tests and tools; 0 once
+// every distributed commit's dependencies are verified covered).
+func (s *Session) ClosureClusters() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.closure)
 }
 
 // ReadOnly executes a verified snapshot read with the session's
@@ -84,8 +116,49 @@ func (s *Session) ReadOnly(keys []string) (*ROResult, error) {
 			s.floors[cl] = b
 		}
 	}
+	s.pruneClosure(res)
 	s.mu.Unlock()
 	return res, nil
+}
+
+// pruneClosure retires closure contacts whose commit dependencies the
+// session has verified covered. Called with s.mu held, on a verified,
+// dependency-closed read result.
+func (s *Session) pruneClosure(res *ROResult) {
+	for cl, e := range s.closure {
+		hdr, ok := res.Headers[cl]
+		if !ok || hdr.ID < e.batch {
+			continue
+		}
+		if e.pending == nil {
+			// First verified look at a coordinator batch covering the
+			// commit. CD entries never regress over the log (the audit
+			// rejects exactly that), so this header's CD dominates the
+			// commit batch's dependency vector entrywise; it may also
+			// carry other transactions' dependencies, which only delays
+			// retirement, never makes it unsound. The coordinator itself
+			// needs no entry: the floor is already at hdr.ID >= e.batch.
+			e.pending = make(map[int32]int64)
+			for j, dep := range hdr.CD {
+				if int32(j) != cl && dep > 0 {
+					e.pending[int32(j)] = dep
+				}
+			}
+		}
+		for j, dep := range e.pending {
+			// A verified header at j with LCE >= dep covers the
+			// dependency for the rest of the session: this read raised
+			// floors[j] to the served batch, and LCE is monotone over the
+			// log, so every later floored read of j serves at least this
+			// LCE.
+			if h, ok := res.Headers[j]; ok && h.LCE >= dep {
+				delete(e.pending, j)
+			}
+		}
+		if len(e.pending) == 0 {
+			delete(s.closure, cl)
+		}
+	}
 }
 
 // Begin opens a read-write transaction whose commit advances the
@@ -97,8 +170,14 @@ func (s *Session) Begin() *Txn {
 		if batch > s.floors[coord] {
 			s.floors[coord] = batch
 		}
-		if distributed && batch > s.closure[coord] {
-			s.closure[coord] = batch
+		if distributed {
+			if e, ok := s.closure[coord]; !ok {
+				s.closure[coord] = &closureEntry{batch: batch}
+			} else if batch > e.batch {
+				// A newer commit may carry new dependencies; restart the
+				// coverage evidence from a header at or past it.
+				e.batch, e.pending = batch, nil
+			}
 		}
 		s.mu.Unlock()
 	}

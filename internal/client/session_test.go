@@ -92,6 +92,63 @@ func TestSessionReadYourWritesDistributed(t *testing.T) {
 	}
 }
 
+// TestSessionClosureRetiredOnceCovered: the closure contact registered by
+// a distributed commit is dropped once a session read verifies every
+// dependency of the commit batch covered by the owning cluster's LCE —
+// so one distributed commit does not tax every later session read with a
+// coordinator round-trip forever. Read-your-writes still holds after the
+// drop: the verifying read floored each participant at a batch whose LCE
+// covers the prepare, and LCE is monotone over the log.
+func TestSessionClosureRetiredOnceCovered(t *testing.T) {
+	sys := startSystem(t, 2)
+	c := newClientCfg(sys, 9, nil)
+	s := c.NewSession()
+	k0 := keyOn(sys, 0, "ret0")
+	k1 := keyOn(sys, 1, "ret1")
+
+	txn := s.Begin()
+	txn.Write(k0, []byte("r0"))
+	txn.Write(k1, []byte("r1"))
+	if err := txn.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	if got := s.ClosureClusters(); got != 1 {
+		t.Fatalf("distributed commit registered %d closure clusters, want 1", got)
+	}
+
+	// A read covering both participants observes, post repair, every
+	// contacted cluster's LCE at or past the coordinator CD vector — full
+	// coverage evidence in one read.
+	if _, err := s.ReadOnly([]string{k0, k1}); err != nil {
+		t.Fatalf("covering read: %v", err)
+	}
+	if got := s.ClosureClusters(); got != 0 {
+		t.Fatalf("closure not retired after covering read: %d clusters still contacted", got)
+	}
+
+	// Single-key session reads of each participant still see the write.
+	for _, kv := range []struct{ k, want string }{{k0, "r0"}, {k1, "r1"}} {
+		res, err := s.ReadOnly([]string{kv.k})
+		if err != nil {
+			t.Fatalf("post-retirement read %q: %v", kv.k, err)
+		}
+		if string(res.Values[kv.k]) != kv.want {
+			t.Fatalf("post-retirement read %q = %q, want %q", kv.k, res.Values[kv.k], kv.want)
+		}
+	}
+
+	// A fresh distributed commit re-registers the closure contact.
+	txn = s.Begin()
+	txn.Write(keyOn(sys, 0, "ret2"), []byte("x"))
+	txn.Write(keyOn(sys, 1, "ret3"), []byte("y"))
+	if err := txn.Commit(); err != nil {
+		t.Fatalf("second commit: %v", err)
+	}
+	if got := s.ClosureClusters(); got != 1 {
+		t.Fatalf("second distributed commit registered %d closure clusters, want 1", got)
+	}
+}
+
 // TestSessionMonotonicReads: batches served to a session never regress.
 func TestSessionMonotonicReads(t *testing.T) {
 	sys := startSystem(t, 2)

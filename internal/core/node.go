@@ -147,6 +147,12 @@ type ROBehavior struct {
 	CorruptValues bool
 	// CorruptProofs truncates served proofs.
 	CorruptProofs bool
+	// DuplicateOmitKey rewrites the reply to answer one requested key
+	// twice and omit another; every copy carries valid proofs (the
+	// multi-proof covers a superset, the per-key copy reuses the first
+	// key's proof), so only the client's exactly-once coverage check
+	// stops the omitted key from silently reading as absent.
+	DuplicateOmitKey bool
 }
 
 // logEntry is one committed batch as retained by a replica: the header,

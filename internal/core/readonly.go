@@ -202,7 +202,14 @@ func (n *Node) serveROSnapshot(m *protocol.RORequest, snap roSnapshot) {
 				mp.Nodes = mp.Nodes[:len(mp.Nodes)-1]
 			}
 			reply.Multi = &mp
+		} else {
+			// Unreachable today (ProveMulti only errors on zero keys,
+			// guarded above), but a reply with values and no proof would
+			// only fail client verification with a confusing proof error —
+			// surface an explicit server error instead.
+			reply = protocol.ROReply{Cluster: n.cfg.Cluster, Err: "multi-proof: " + err.Error()}
 		}
+		mutateROReply(&reply, n.cfg.ROBehavior)
 		atomic.AddInt64(&n.Metrics.ROServed, 1)
 		select {
 		case m.ReplyTo <- reply:
@@ -241,10 +248,22 @@ func (n *Node) serveROSnapshot(m *protocol.RORequest, snap roSnapshot) {
 		}
 		reply.Values = append(reply.Values, protocol.ROValue{Key: k, Value: value, Found: true, Proof: proof})
 	}
+	mutateROReply(&reply, n.cfg.ROBehavior)
 	atomic.AddInt64(&n.Metrics.ROServed, 1)
 	select {
 	case m.ReplyTo <- reply:
 	default:
+	}
+}
+
+// mutateROReply applies byzantine reply rewrites that operate on the
+// finished answer regardless of proof mode. DuplicateOmitKey overwrites
+// the last answer with a copy of the first: both copies verify
+// individually, so the rewrite is only caught by a client enforcing
+// exactly-once key coverage.
+func mutateROReply(reply *protocol.ROReply, b ROBehavior) {
+	if b.DuplicateOmitKey && len(reply.Values) >= 2 {
+		reply.Values[len(reply.Values)-1] = reply.Values[0]
 	}
 }
 

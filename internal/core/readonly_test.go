@@ -172,6 +172,34 @@ func TestByzantineROServerCorruptProofsDetected(t *testing.T) {
 	}
 }
 
+// TestByzantineRODuplicateOmitKeyDetected: a server that answers one
+// requested key twice (each copy validly proven) while omitting another
+// must be rejected — otherwise the omitted key would silently read as
+// absent with no absence proof. Exercised on both proof paths, since the
+// exactly-once coverage check is the only defense on either.
+func TestByzantineRODuplicateOmitKeyDetected(t *testing.T) {
+	for _, disableMulti := range []bool{false, true} {
+		name := "multiproof"
+		if disableMulti {
+			name = "perkey"
+		}
+		t.Run(name, func(t *testing.T) {
+			sys := testSystem(t, 2, 1, 100, func(cfg *core.SystemConfig) {
+				cfg.DisableMultiProofRO = disableMulti
+				cfg.ROByzantine = map[core.NodeID]core.ROBehavior{
+					{Cluster: 0, Replica: 0}: {DuplicateOmitKey: true},
+				}
+			})
+			c := testClient(sys, 1)
+			ks := keysOn(sys, 0, 2)
+			_, err := c.ReadOnly(ks)
+			if !errors.Is(err, client.ErrVerification) {
+				t.Fatalf("err = %v, want ErrVerification", err)
+			}
+		})
+	}
+}
+
 func TestByzantineStaleSnapshotDetectedWithFreshnessBound(t *testing.T) {
 	sys := testSystem(t, 2, 1, 100, func(cfg *core.SystemConfig) {
 		cfg.ROByzantine = map[core.NodeID]core.ROBehavior{

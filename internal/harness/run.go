@@ -479,10 +479,11 @@ func runTransEdgeLike(cfg Config) Result {
 
 	// Open-loop session clients: each issues verified session reads on a
 	// Poisson arrival schedule, decoupled from completions. A bounded
-	// in-flight window keeps a stalled system from spawning unbounded
-	// goroutines; requests past the window queue, and their wait counts —
-	// latency runs from the SCHEDULED arrival, so overload shows up as
-	// tail inflation instead of silently throttling the offered load.
+	// window caps CONCURRENT requests, not arrivals: the slot is acquired
+	// inside the spawned goroutine, off the scheduling loop, so the
+	// offered load is never throttled — a saturated window shows up as
+	// queue wait, which the latency clock (running from the SCHEDULED
+	// arrival) counts as tail inflation rather than hiding.
 	for w := 0; w < cfg.OpenLoopClients; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -503,10 +504,10 @@ func runTransEdgeLike(cfg Config) Result {
 				}
 				keys := pickROKeys(g, cfg.ROScanSize)
 				arrival := next
-				window <- struct{}{}
 				inflight.Add(1)
 				go func() {
 					defer inflight.Done()
+					window <- struct{}{}
 					res, err := sess.ReadOnly(keys)
 					<-window
 					if err != nil {
